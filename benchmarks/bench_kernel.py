@@ -1,0 +1,43 @@
+"""Microbenchmarks of the simulation substrate itself.
+
+Not a paper artefact — these track the cost of the discrete-event
+kernel and of a full BAN simulation second, so regressions in simulator
+performance are caught alongside accuracy.
+"""
+
+from repro.net.scenario import BanScenario, BanScenarioConfig
+from repro.sim.kernel import Simulator
+
+
+def test_kernel_event_throughput(benchmark):
+    """Dispatch 100k self-rescheduling events."""
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 100_000:
+                sim.after(10, tick)
+
+        sim.after(10, tick)
+        sim.run_until(10 * 100_000 + 1)
+        return count[0]
+
+    assert benchmark(run) == 100_000
+
+
+def test_ban_simulation_rate(benchmark):
+    """Simulated seconds per wall second for the densest table row
+    (5 nodes, 30 ms cycle, 205 Hz streaming)."""
+
+    def run():
+        config = BanScenarioConfig(mac="static", app="ecg_streaming",
+                                   num_nodes=5, cycle_ms=30.0,
+                                   sampling_hz=205.0, measure_s=5.0)
+        return BanScenario(config).run()
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1,
+                                warmup_rounds=0)
+    assert result.node("node1").radio_mj > 0

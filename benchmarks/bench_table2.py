@@ -1,0 +1,30 @@
+"""Benchmark: Table 2 — ECG streaming, dynamic TDMA, node-count sweep.
+
+Regenerates Table 2 (10 ms slots, 1-5 nodes so the cycle spans
+20-60 ms, sampling derived to fill one 18-byte packet per cycle, 60 s).
+
+Accuracy note: the paper's own dynamic-TDMA numbers are internally
+noisier than the static ones (its Tables 2 and 4 imply different guard
+windows at the same cycle lengths), so the acceptance band here is
+wider than Table 1's: our estimate must stay within ~8% of the
+hardware column on average and reproduce the monotone shape.
+"""
+
+from conftest import record_table, run_once
+from repro.analysis.experiments import reproduce_table2
+
+
+def test_table2_ecg_streaming_dynamic_tdma(benchmark, measure_s):
+    result = run_once(benchmark, reproduce_table2, measure_s=measure_s)
+    record_table(benchmark, result)
+
+    assert result.mean_error("real", "radio") < 0.08
+    assert result.mean_error("real", "mcu") < 0.15
+    assert result.mean_error("paper_sim", "radio") < 0.12
+    assert result.mean_error("paper_sim", "mcu") < 0.08
+
+    # Shape: more nodes -> longer cycle -> lower per-node radio energy.
+    radios = [row.radio_ours_mj for row in result.rows]
+    assert radios == sorted(radios, reverse=True)
+    # Factor between 1 and 5 nodes ~ 2.4-2.7x (paper real: 628.5/263.9).
+    assert 2.0 < radios[0] / radios[-1] < 3.0

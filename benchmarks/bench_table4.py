@@ -1,0 +1,30 @@
+"""Benchmark: Table 4 — Rpeak application, dynamic TDMA, node sweep.
+
+Regenerates Table 4 (200 Hz beat detection, 10 ms slots, 1-5 nodes,
+60 s).  Same dynamic-TDMA caveat as Table 2: the acceptance band is
+against the hardware column (< 7% average), plus the monotone shape.
+"""
+
+from conftest import record_table, run_once
+from repro.analysis.experiments import reproduce_table4
+
+
+def test_table4_rpeak_dynamic_tdma(benchmark, measure_s):
+    result = run_once(benchmark, reproduce_table4, measure_s=measure_s)
+    record_table(benchmark, result)
+
+    assert result.mean_error("real", "radio") < 0.07
+    assert result.mean_error("real", "mcu") < 0.06
+    assert result.mean_error("paper_sim", "radio") < 0.10
+    assert result.mean_error("paper_sim", "mcu") < 0.06
+
+    radios = [row.radio_ours_mj for row in result.rows]
+    assert radios == sorted(radios, reverse=True)
+    # 1 -> 5 nodes shrinks per-node radio energy ~2.3x (paper real:
+    # 507.1 / 222.1).
+    assert 1.9 < radios[0] / radios[-1] < 2.9
+
+    # Every individual row stays within 10% of the hardware value.
+    for row in result.rows:
+        assert row.error_vs("real", "radio") < 0.10
+        assert row.error_vs("real", "mcu") < 0.10

@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark harness.
+
+Every published table/figure gets one benchmark that runs the full
+reproduction once (``pedantic`` mode — these are minutes-scale
+simulations, not microbenchmarks), prints the regenerated table next to
+the paper's values, and records the accuracy metrics in
+``benchmark.extra_info`` so they land in the JSON report.
+
+``REPRO_BENCH_MEASURE_S`` shortens the measurement window (the energy
+model is time-proportional; `tests/test_scenario.py` verifies
+linearity), e.g.::
+
+    REPRO_BENCH_MEASURE_S=10 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def bench_measure_s() -> float:
+    """Measurement window for benchmark runs (default: the paper's 60 s)."""
+    return float(os.environ.get("REPRO_BENCH_MEASURE_S", "60"))
+
+
+@pytest.fixture
+def measure_s() -> float:
+    """Fixture wrapper around :func:`bench_measure_s`."""
+    return bench_measure_s()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under the benchmark clock."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def record_table(benchmark, result) -> None:
+    """Store a reproduced table's error metrics and print it."""
+    benchmark.extra_info["table"] = result.table_id
+    benchmark.extra_info["measure_s"] = result.measure_s
+    for reference in ("real", "paper_sim"):
+        for component in ("radio", "mcu"):
+            key = f"err_{component}_vs_{reference}"
+            benchmark.extra_info[key] = round(
+                result.mean_error(reference, component), 4)
+    print()
+    print(result.render())

@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Architectural tuning: the study the paper says its model enables.
+
+"This model can be employed to tune the node architecture and
+communication layer for different working conditions, applications and
+topologies of BANs" (abstract).  This example does exactly that for a
+hypothetical EEG+ECG patient monitor:
+
+1. **MAC choice** — static vs dynamic TDMA at equal network size;
+2. **Sync policy** — the platform's calibrated guard vs a drift-
+   tracking guard, across crystal qualities;
+3. **Battery sizing** — lifetime per configuration on two batteries.
+
+Run:  python examples/design_space_tuning.py
+"""
+
+from repro.analysis.lifetime import project_lifetime
+from repro.core.report import render_table
+from repro.hw.battery import CR2477, LIPO_160
+from repro.mac.sync import DriftTrackingLead
+from repro.net.scenario import BanScenario, BanScenarioConfig
+
+MEASURE_S = 20.0
+
+
+def run(node_count=5, mac="static", sync_factory=None,
+        skew_ppm=0.0) -> tuple:
+    config = BanScenarioConfig(
+        mac=mac, app="rpeak", num_nodes=node_count,
+        cycle_ms=60.0, slot_ms=10.0, measure_s=MEASURE_S,
+        sync_policy_factory=sync_factory, clock_skew_ppm=skew_ppm)
+    scenario = BanScenario(config)
+    result = scenario.run()
+    node = result.node("node1")
+    missed = sum(n.mac.counters.beacons_missed for n in scenario.nodes)
+    return node, missed
+
+
+def mac_comparison() -> None:
+    rows = []
+    for mac in ("static", "dynamic"):
+        node, _ = run(mac=mac)
+        rows.append((mac, node.radio_mj, node.mcu_mj,
+                     node.average_power_mw))
+    print(render_table(
+        ["MAC", "radio (mJ)", "uC (mJ)", "avg power (mW)"],
+        rows,
+        title=f"MAC choice, 5-node Rpeak BAN, {MEASURE_S:.0f} s "
+              "(static 60 ms cycle vs dynamic 10 ms slots)"))
+
+
+def sync_study() -> None:
+    rows = []
+    node, missed = run()
+    rows.append(("platform (fitted 3.1 ms lead)", node.radio_mj, missed))
+    for ppm in (100.0, 50.0, 20.0):
+        factory = (lambda p: lambda cal: DriftTrackingLead(
+            tolerance_ppm=p))(ppm)
+        node, missed = run(sync_factory=factory, skew_ppm=ppm * 0.8)
+        rows.append((f"drift-tracking @ {ppm:.0f} ppm crystals",
+                     node.radio_mj, missed))
+    print(render_table(
+        ["sync policy", "radio (mJ)", "beacons missed (all nodes)"],
+        rows,
+        title="Guard-window policy vs crystal quality "
+              "(nodes skewed to 80% of tolerance)"))
+
+
+def battery_sizing() -> None:
+    rows = []
+    for label, sync_factory in (
+            ("platform guard", None),
+            ("50 ppm drift guard",
+             lambda cal: DriftTrackingLead(tolerance_ppm=50.0))):
+        node, _ = run(sync_factory=sync_factory)
+        for battery, name in ((CR2477, "CR2477 coin"),
+                              (LIPO_160, "160 mAh LiPo patch")):
+            projection = project_lifetime(node, battery,
+                                          include_asic=True)
+            rows.append((label, name, projection.average_power_mw,
+                         projection.days))
+    print(render_table(
+        ["configuration", "battery", "avg power (mW)", "lifetime (days)"],
+        rows,
+        title="Battery sizing (radio + MCU + 10.5 mW sensing ASIC)"))
+
+
+def energy_latency_frontier() -> None:
+    from repro.analysis.qos import evaluate_rpeak_cycles, render_tradeoff
+    points = evaluate_rpeak_cycles((30.0, 60.0, 90.0, 120.0),
+                                   measure_s=MEASURE_S)
+    print("Energy vs beat-report latency (Rpeak, static TDMA; "
+          "every cycle is Pareto-optimal — pick by latency budget):")
+    print(render_tradeoff(points))
+
+
+def main() -> None:
+    mac_comparison()
+    print()
+    sync_study()
+    print()
+    battery_sizing()
+    print()
+    energy_latency_frontier()
+    print()
+    print("Note how the sensing ASIC's constant 10.5 mW dominates once "
+          "the radio is tamed — the paper's Section 5 exclusion hides "
+          "the next bottleneck.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Watch a dynamic-TDMA BAN assemble itself over the air.
+
+Five nodes power up next to a base station with an *empty* schedule.
+Each one acquires the beacon, fires a slot request at a random instant
+inside the empty-slot (ES) window — colliding occasionally, retrying —
+and the base station grows the TDMA cycle slot by slot (Figure 3 of
+the paper: 20 ms with one node, 60 ms with five).  The example traces
+the join choreography, then measures steady-state energy and shows the
+protocol's control-traffic overhead in the loss taxonomy.
+
+Run:  python examples/dynamic_join.py
+"""
+
+from repro.core.losses import RadioEnergyCategory
+from repro.core.report import render_table
+from repro.net.scenario import BanScenario, BanScenarioConfig
+from repro.sim.simtime import milliseconds, to_milliseconds
+
+
+def main() -> None:
+    config = BanScenarioConfig(
+        mac="dynamic",
+        app="rpeak",
+        num_nodes=5,
+        slot_ms=10.0,
+        join_protocol=True,   # no preassigned slots: join over the air
+        measure_s=30.0,
+        seed=3,
+        trace_capacity=200_000,
+    )
+    scenario = BanScenario(config)
+
+    # --- Phase 1: let the network assemble, reporting as it grows ----
+    print("t (ms)   cycle (ms)   joined   slots")
+    joined_history = []
+    step = milliseconds(20)
+    while not all(node.mac.is_synced for node in scenario.nodes):
+        if scenario.sim.now == 0:
+            scenario.base_station.start()
+            for node in scenario.nodes:
+                node.start()
+        scenario.sim.run_until(scenario.sim.now + step)
+        joined = sum(node.mac.is_synced for node in scenario.nodes)
+        if not joined_history or joined_history[-1] != joined:
+            joined_history.append(joined)
+            cycle_ms = to_milliseconds(
+                scenario.base_station.mac.current_cycle_ticks())
+            slots = scenario.base_station.mac.schedule.as_map()
+            print(f"{to_milliseconds(scenario.sim.now):7.0f}"
+                  f"   {cycle_ms:10.0f}   {joined:6d}   {slots}")
+
+    ssrs = sum(node.mac.counters.slot_requests_sent
+               for node in scenario.nodes)
+    collisions = scenario.channel.collisions_detected
+    print(f"\nAll 5 nodes joined after "
+          f"{to_milliseconds(scenario.sim.now):.0f} ms, using {ssrs} "
+          f"slot requests ({collisions} collision corruptions along "
+          f"the way).")
+
+    # --- Phase 2: steady-state measurement ---------------------------
+    # The scenario runner would normally handle warm-up + measurement;
+    # here the network is already running, so measure directly.
+    measure_start = scenario.sim.now + milliseconds(100)
+    scenario.sim.run_until(measure_start)
+    scenario.base_station.reset_measurement()
+    for node in scenario.nodes:
+        node.reset_measurement()
+    scenario.sim.run_until(measure_start + milliseconds(30_000))
+
+    rows = []
+    for node in scenario.nodes:
+        res = node.collect_result(30.0)
+        control = res.losses.energy_j.get(
+            RadioEnergyCategory.CONTROL_RX, 0.0) * 1e3
+        rows.append((node.node_id, node.mac.slot, res.radio_mj,
+                     res.mcu_mj, control))
+    print()
+    print(render_table(
+        ["node", "slot", "radio (mJ)", "uC (mJ)",
+         "control-rx (mJ)"],
+        rows,
+        title="Steady state over 30 s (60 ms cycle, Rpeak application)"))
+    print("\nControl-packet overhead (beacon reception) is booked "
+          "explicitly, as the paper's Section 4.2 requires.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Hospital-ward study: how close can two monitored patients sit?
+
+Two patients each wear a 3-node BAN.  Within radio range the networks
+share the 2.4 GHz channel: beacons and data frames of one BAN
+periodically collide with the other's, the nRF2401 CRC discards the
+corrupted frames, and delivery/energy suffer.  This example sweeps the
+arrangement:
+
+1. isolated wards (baseline),
+2. adjacent beds, schedules cleanly interleaved (a lucky stagger),
+3. adjacent beds, schedules adversarially overlapped,
+4. adjacent beds, the BANs on separate nRF2401 frequency channels,
+
+and reports delivery ratio, collision counts and per-node radio energy
+— the kind of deployment question the paper's network-level simulation
+exists to answer.
+
+Run:  python examples/ward_interference.py
+"""
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.report import render_table
+from repro.net.multi import MultiBanScenario
+from repro.net.scenario import BanScenarioConfig
+from repro.phy.topology import ExplicitLinks, Topology
+
+MEASURE_S = 20.0
+
+
+def configs():
+    return [
+        BanScenarioConfig(mac="static", app="ecg_streaming", num_nodes=3,
+                          cycle_ms=30.0, sampling_hz=205.0,
+                          measure_s=MEASURE_S),
+        BanScenarioConfig(mac="static", app="ecg_streaming", num_nodes=3,
+                          cycle_ms=40.0, sampling_hz=150.0,
+                          measure_s=MEASURE_S),
+    ]
+
+
+def isolated_topology() -> Topology:
+    """Each BAN hears itself only (patients in different rooms)."""
+    links: Set[Tuple[str, str]] = set()
+    for ban in ("ban1", "ban2"):
+        members = [f"{ban}.base_station"] + [f"{ban}.node{i}"
+                                             for i in (1, 2, 3)]
+        for a in members:
+            for b in members:
+                if a != b:
+                    links.add((a, b))
+    return ExplicitLinks(links)
+
+
+def run_arrangement(label: str, stagger_ms: float,
+                    topology: Optional[Topology],
+                    rf_channels=None) -> Dict:
+    multi = MultiBanScenario(configs(), stagger_ms=stagger_ms,
+                             topology=topology, seed=4,
+                             rf_channels=rf_channels)
+    results = multi.run()
+    sent = {name: sum(n.traffic.data_tx for n in r.nodes.values())
+            for name, r in results.items()}
+    delivered = {f"ban{i + 1}": ban.base_station.frames_received
+                 for i, ban in enumerate(multi.bans)}
+    expected = {
+        "ban1": 3 * MEASURE_S / 0.030,
+        "ban2": 3 * MEASURE_S / 0.040,
+    }
+    radio = {name: r.node(f"{name}.node1").radio_mj
+             for name, r in results.items()}
+    return {
+        "label": label,
+        "collisions": multi.collisions_detected,
+        "delivery": {name: delivered[name] / expected[name]
+                     for name in delivered},
+        "radio": radio,
+        "sent": sent,
+    }
+
+
+def main() -> None:
+    arrangements = [
+        run_arrangement("different rooms", 7.8, isolated_topology()),
+        run_arrangement("adjacent, lucky stagger", 3.0, None),
+        run_arrangement("adjacent, adversarial stagger", 7.8, None),
+        run_arrangement("adjacent, separate RF channels", 7.8, None,
+                        rf_channels=(0, 40)),
+    ]
+    rows = []
+    for record in arrangements:
+        rows.append((
+            record["label"],
+            record["collisions"],
+            f"{100 * record['delivery']['ban1']:.1f}%",
+            f"{100 * record['delivery']['ban2']:.1f}%",
+            record["radio"]["ban1"],
+            record["radio"]["ban2"],
+        ))
+    print(render_table(
+        ["arrangement", "collisions", "ban1 delivery", "ban2 delivery",
+         "ban1 radio (mJ)", "ban2 radio (mJ)"],
+        rows,
+        title=f"Two 3-node BANs, {MEASURE_S:.0f} s "
+              "(30 ms vs 40 ms cycles)"))
+    print(
+        "\nReading: co-location is free *if* the schedules interleave "
+        "cleanly — TDMA's promise.  At the adversarial phase the two "
+        "failure modes split: ban1's data slots collide with ban2's "
+        "traffic, so ban1 silently loses frames (CRC discards); ban2's "
+        "beacons collide instead, so its nodes miss syncs, listen "
+        "longer and re-acquire — delivery holds but radio energy "
+        "jumps ~30%.  The last row shows the deployment remedy: "
+        "RF-channel separation restores full isolation at zero "
+        "protocol cost.  The simulator makes the cost of not having "
+        "it measurable.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,106 @@
+"""Experiment reproduction, validation metrics, sweeps and projections."""
+
+from .experiments import (
+    REPORTED_NODE,
+    ExperimentResult,
+    ExperimentRow,
+    Figure4Result,
+    TABLE_REPRODUCERS,
+    reproduce_figure4,
+    reproduce_table1,
+    reproduce_table2,
+    reproduce_table3,
+    reproduce_table4,
+)
+from .closed_form import AnalyticEnergy, explain as explain_analytic, \
+    predict as predict_analytic
+from .compare import MetricDelta, compare_nodes, render_comparison
+from .summary import full_report
+from .export import experiment_records, network_records, to_csv, to_json
+from .golden import GOLDENS, check_goldens, compute_goldens
+from .qos import DesignPoint, LatencyStats, beat_report_latencies, \
+    evaluate_rpeak_cycles, pareto_front, render_tradeoff
+from .replication import Summary, default_metrics, node_metric, \
+    replicate, traffic_metric
+from .sensitivity import PARAMETERS as SENSITIVITY_PARAMETERS, \
+    SensitivityEntry, render_tornado, tornado
+from .figures import figure4_csv, figure4_series, render_figure4, \
+    table_series
+from .waveforms import StateChange, WaveformProbe
+from .lifetime import LifetimeProjection, project_lifetime
+from .sweep import (
+    SweepPoint,
+    as_table,
+    sweep_cycle_ms,
+    sweep_custom,
+    sweep_heart_rate,
+    sweep_num_nodes,
+    sweep_scenarios,
+)
+from .validation import (
+    OverallValidation,
+    TableValidation,
+    validate_all,
+    validate_table,
+)
+
+__all__ = [
+    "REPORTED_NODE",
+    "ExperimentResult",
+    "ExperimentRow",
+    "Figure4Result",
+    "TABLE_REPRODUCERS",
+    "reproduce_figure4",
+    "reproduce_table1",
+    "reproduce_table2",
+    "reproduce_table3",
+    "reproduce_table4",
+    "AnalyticEnergy",
+    "MetricDelta",
+    "compare_nodes",
+    "render_comparison",
+    "full_report",
+    "explain_analytic",
+    "predict_analytic",
+    "experiment_records",
+    "network_records",
+    "to_csv",
+    "to_json",
+    "StateChange",
+    "WaveformProbe",
+    "GOLDENS",
+    "DesignPoint",
+    "LatencyStats",
+    "beat_report_latencies",
+    "evaluate_rpeak_cycles",
+    "pareto_front",
+    "render_tradeoff",
+    "check_goldens",
+    "compute_goldens",
+    "Summary",
+    "default_metrics",
+    "node_metric",
+    "replicate",
+    "traffic_metric",
+    "SENSITIVITY_PARAMETERS",
+    "SensitivityEntry",
+    "render_tornado",
+    "tornado",
+    "figure4_csv",
+    "figure4_series",
+    "render_figure4",
+    "table_series",
+    "LifetimeProjection",
+    "project_lifetime",
+    "SweepPoint",
+    "as_table",
+    "sweep_cycle_ms",
+    "sweep_custom",
+    "sweep_heart_rate",
+    "sweep_num_nodes",
+    "sweep_scenarios",
+    "OverallValidation",
+    "TableValidation",
+    "validate_all",
+    "validate_table",
+]

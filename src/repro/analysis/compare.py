@@ -1,0 +1,101 @@
+"""Structured comparison of two simulation results.
+
+Every ablation ends with the same question — *what changed?* —
+answered by eyeballing two result objects.  :func:`compare_nodes`
+makes the diff structured: per-metric absolute and relative deltas,
+with a renderer that flags the significant ones.  Works on any two
+:class:`~repro.core.report.NodeEnergyResult` (same node across
+configurations, or two nodes in one run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..core.losses import RadioEnergyCategory
+from ..core.report import NodeEnergyResult
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One compared metric."""
+
+    name: str
+    baseline: float
+    candidate: float
+
+    @property
+    def delta(self) -> float:
+        """candidate - baseline."""
+        return self.candidate - self.baseline
+
+    @property
+    def relative(self) -> float:
+        """Fractional change vs the baseline (inf when baseline is 0
+        and the candidate is not)."""
+        if self.baseline == 0.0:
+            return float("inf") if self.candidate else 0.0
+        return self.delta / self.baseline
+
+    def is_significant(self, threshold: float = 0.01) -> bool:
+        """Whether the relative change exceeds ``threshold``."""
+        return abs(self.relative) > threshold
+
+
+def _metrics_of(node: NodeEnergyResult) -> Dict[str, float]:
+    metrics = {
+        "radio_mj": node.radio_mj,
+        "mcu_mj": node.mcu_mj,
+        "total_mj": node.total_mj,
+        "avg_power_mw": node.average_power_mw,
+        "data_tx": float(node.traffic.data_tx),
+        "data_rx": float(node.traffic.data_rx),
+        "control_rx": float(node.traffic.control_rx),
+        "overheard": float(node.traffic.overheard),
+        "corrupted": float(node.traffic.corrupted),
+    }
+    if node.losses is not None:
+        for category in RadioEnergyCategory:
+            metrics[f"loss_{category.value}_mj"] = \
+                node.losses.energy_j.get(category, 0.0) * 1e3
+    return metrics
+
+
+def compare_nodes(baseline: NodeEnergyResult,
+                  candidate: NodeEnergyResult) -> List[MetricDelta]:
+    """Per-metric deltas, candidate vs baseline."""
+    base = _metrics_of(baseline)
+    cand = _metrics_of(candidate)
+    return [MetricDelta(name=name, baseline=base[name],
+                        candidate=cand.get(name, 0.0))
+            for name in base]
+
+
+def render_comparison(deltas: Sequence[MetricDelta],
+                      baseline_label: str = "baseline",
+                      candidate_label: str = "candidate",
+                      threshold: float = 0.01,
+                      show_all: bool = False) -> str:
+    """Text diff; by default only metrics that moved past ``threshold``."""
+    shown = [d for d in deltas
+             if show_all or d.is_significant(threshold)]
+    if not shown:
+        return (f"no metric moved more than "
+                f"{100 * threshold:.0f}% between {baseline_label} and "
+                f"{candidate_label}")
+    name_width = max(len(d.name) for d in shown)
+    lines = [f"{'metric':<{name_width}}  {baseline_label:>12}  "
+             f"{candidate_label:>12}  {'change':>9}"]
+    for delta in shown:
+        if delta.relative == float("inf"):
+            change = "new"
+        else:
+            change = f"{100 * delta.relative:+.1f}%"
+        lines.append(f"{delta.name:<{name_width}}  "
+                     f"{delta.baseline:>12.2f}  "
+                     f"{delta.candidate:>12.2f}  {change:>9}")
+    return "\n".join(lines)
+
+
+__all__ = ["MetricDelta", "compare_nodes", "render_comparison"]

@@ -1,0 +1,284 @@
+"""Reproduction of every table and figure in the paper's evaluation.
+
+Each ``reproduce_*`` function runs the exact scenario behind one
+published artefact and returns an :class:`ExperimentResult` holding,
+per row: the paper's Real and Sim values and our simulator's estimate,
+plus the paper-style average errors.  The benchmark harness and the CLI
+are thin wrappers over these functions.
+
+Scenario settings come straight from Section 5:
+
+* 5-node BAN; reported figures are for the ECG node (our ``node1``);
+* 60 s windows; 18-byte streaming payload; 2 ECG channels;
+* Table 1: static TDMA, sampling swept (205/105/70/55 Hz -> cycles
+  30/60/90/120 ms);
+* Table 2: dynamic TDMA, 10 ms slots, 1-5 nodes, sampling derived so
+  one 18-byte packet is sent per cycle;
+* Table 3: Rpeak at the fixed 200 Hz, static cycles 30-120 ms,
+  75 bpm input;
+* Table 4: Rpeak, dynamic TDMA, 1-5 nodes;
+* Figure 4: streaming at 30 ms vs Rpeak at 120 ms, total energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..core.calibration import DEFAULT_CALIBRATION, ModelCalibration
+from ..core.report import render_table
+from ..data.paper_tables import (
+    FIGURE_4_RPEAK_TOTAL_MJ,
+    FIGURE_4_SAVING_FRACTION,
+    FIGURE_4_STREAMING_TOTAL_MJ,
+    PaperTable,
+    TABLE_1,
+    TABLE_2,
+    TABLE_3,
+    TABLE_4,
+)
+from ..net.scenario import BanScenarioConfig, BanScenario
+
+#: Node whose energy the paper reports ("the ECG node").
+REPORTED_NODE = "node1"
+
+
+@dataclass(frozen=True)
+class ExperimentRow:
+    """One reproduced table row: paper values + our measurement."""
+
+    parameter: float
+    cycle_ms: float
+    radio_real_mj: float
+    radio_paper_sim_mj: float
+    radio_ours_mj: float
+    mcu_real_mj: float
+    mcu_paper_sim_mj: float
+    mcu_ours_mj: float
+
+    def error_vs(self, reference: str, component: str) -> float:
+        """|ours - reference| / reference.
+
+        Args:
+            reference: ``"real"`` (hardware) or ``"paper_sim"``.
+            component: ``"radio"`` or ``"mcu"``.
+        """
+        ours = {"radio": self.radio_ours_mj,
+                "mcu": self.mcu_ours_mj}[component]
+        ref = {
+            ("real", "radio"): self.radio_real_mj,
+            ("real", "mcu"): self.mcu_real_mj,
+            ("paper_sim", "radio"): self.radio_paper_sim_mj,
+            ("paper_sim", "mcu"): self.mcu_paper_sim_mj,
+        }[(reference, component)]
+        return abs(ours - ref) / ref
+
+
+@dataclass(frozen=True)
+class ExperimentResult:
+    """A fully reproduced table."""
+
+    table_id: str
+    caption: str
+    parameter_name: str
+    rows: Sequence[ExperimentRow]
+    measure_s: float
+
+    def mean_error(self, reference: str, component: str) -> float:
+        """Average fractional error across rows (paper's metric)."""
+        return sum(r.error_vs(reference, component) for r in self.rows) \
+            / len(self.rows)
+
+    def render(self) -> str:
+        """Paper-style text table, with our column appended."""
+        headers = [self.parameter_name, "Cycle (ms)",
+                   "Radio real", "Radio paper-sim", "Radio ours",
+                   "uC real", "uC paper-sim", "uC ours"]
+        body = [
+            (row.parameter, row.cycle_ms,
+             row.radio_real_mj, row.radio_paper_sim_mj, row.radio_ours_mj,
+             row.mcu_real_mj, row.mcu_paper_sim_mj, row.mcu_ours_mj)
+            for row in self.rows
+        ]
+        table = render_table(headers, body, title=self.caption)
+        footer = (
+            f"Avg err vs real:      radio "
+            f"{100 * self.mean_error('real', 'radio'):.1f}%  "
+            f"uC {100 * self.mean_error('real', 'mcu'):.1f}%\n"
+            f"Avg err vs paper sim: radio "
+            f"{100 * self.mean_error('paper_sim', 'radio'):.1f}%  "
+            f"uC {100 * self.mean_error('paper_sim', 'mcu'):.1f}%")
+        return f"{table}\n{footer}"
+
+
+def _run_row(config: BanScenarioConfig) -> Dict[str, float]:
+    result = BanScenario(config).run()
+    node = result.node(REPORTED_NODE)
+    return {"radio_mj": node.radio_mj, "mcu_mj": node.mcu_mj}
+
+
+def _scale(value_mj: float, measure_s: float) -> float:
+    """Scale a published 60 s figure to a shorter measurement window."""
+    return value_mj * measure_s / 60.0
+
+
+def _reproduce(table: PaperTable, configs: Sequence[BanScenarioConfig],
+               measure_s: float) -> ExperimentResult:
+    rows: List[ExperimentRow] = []
+    for paper_row, config in zip(table.rows, configs):
+        ours = _run_row(config)
+        rows.append(ExperimentRow(
+            parameter=paper_row.parameter,
+            cycle_ms=paper_row.cycle_ms,
+            radio_real_mj=_scale(paper_row.radio_real_mj, measure_s),
+            radio_paper_sim_mj=_scale(paper_row.radio_sim_mj, measure_s),
+            radio_ours_mj=ours["radio_mj"],
+            mcu_real_mj=_scale(paper_row.mcu_real_mj, measure_s),
+            mcu_paper_sim_mj=_scale(paper_row.mcu_sim_mj, measure_s),
+            mcu_ours_mj=ours["mcu_mj"],
+        ))
+    return ExperimentResult(table_id=table.table_id, caption=table.caption,
+                            parameter_name=table.parameter_name,
+                            rows=rows, measure_s=measure_s)
+
+
+# ---------------------------------------------------------------------------
+# Tables
+# ---------------------------------------------------------------------------
+
+def reproduce_table1(measure_s: float = 60.0, seed: int = 0,
+                     calibration: Optional[ModelCalibration] = None
+                     ) -> ExperimentResult:
+    """Table 1: ECG streaming, static TDMA, sampling-frequency sweep."""
+    cal = calibration or DEFAULT_CALIBRATION
+    configs = [
+        BanScenarioConfig(mac="static", app="ecg_streaming", num_nodes=5,
+                          cycle_ms=row.cycle_ms, sampling_hz=row.parameter,
+                          measure_s=measure_s, seed=seed, calibration=cal)
+        for row in TABLE_1.rows
+    ]
+    return _reproduce(TABLE_1, configs, measure_s)
+
+
+def reproduce_table2(measure_s: float = 60.0, seed: int = 0,
+                     calibration: Optional[ModelCalibration] = None
+                     ) -> ExperimentResult:
+    """Table 2: ECG streaming, dynamic TDMA, node-count sweep."""
+    cal = calibration or DEFAULT_CALIBRATION
+    configs = [
+        BanScenarioConfig(mac="dynamic", app="ecg_streaming",
+                          num_nodes=int(row.parameter), slot_ms=10.0,
+                          measure_s=measure_s, seed=seed, calibration=cal)
+        for row in TABLE_2.rows
+    ]
+    return _reproduce(TABLE_2, configs, measure_s)
+
+
+def reproduce_table3(measure_s: float = 60.0, seed: int = 0,
+                     calibration: Optional[ModelCalibration] = None
+                     ) -> ExperimentResult:
+    """Table 3: Rpeak (75 bpm input), static TDMA, cycle sweep."""
+    cal = calibration or DEFAULT_CALIBRATION
+    configs = [
+        BanScenarioConfig(mac="static", app="rpeak", num_nodes=5,
+                          cycle_ms=row.cycle_ms, heart_rate_bpm=75.0,
+                          measure_s=measure_s, seed=seed, calibration=cal)
+        for row in TABLE_3.rows
+    ]
+    return _reproduce(TABLE_3, configs, measure_s)
+
+
+def reproduce_table4(measure_s: float = 60.0, seed: int = 0,
+                     calibration: Optional[ModelCalibration] = None
+                     ) -> ExperimentResult:
+    """Table 4: Rpeak, dynamic TDMA, node-count sweep."""
+    cal = calibration or DEFAULT_CALIBRATION
+    configs = [
+        BanScenarioConfig(mac="dynamic", app="rpeak",
+                          num_nodes=int(row.parameter), slot_ms=10.0,
+                          heart_rate_bpm=75.0,
+                          measure_s=measure_s, seed=seed, calibration=cal)
+        for row in TABLE_4.rows
+    ]
+    return _reproduce(TABLE_4, configs, measure_s)
+
+
+#: Registry of table reproductions by id.
+TABLE_REPRODUCERS = {
+    "table1": reproduce_table1,
+    "table2": reproduce_table2,
+    "table3": reproduce_table3,
+    "table4": reproduce_table4,
+}
+
+
+# ---------------------------------------------------------------------------
+# Figure 4
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class Figure4Result:
+    """The reproduced Figure 4 comparison."""
+
+    streaming_radio_mj: float
+    streaming_mcu_mj: float
+    rpeak_radio_mj: float
+    rpeak_mcu_mj: float
+    measure_s: float
+    paper_streaming_total_mj: float = field(
+        default=FIGURE_4_STREAMING_TOTAL_MJ)
+    paper_rpeak_total_mj: float = field(default=FIGURE_4_RPEAK_TOTAL_MJ)
+    paper_saving: float = field(default=FIGURE_4_SAVING_FRACTION)
+
+    @property
+    def streaming_total_mj(self) -> float:
+        """Our streaming bar height (radio + MCU)."""
+        return self.streaming_radio_mj + self.streaming_mcu_mj
+
+    @property
+    def rpeak_total_mj(self) -> float:
+        """Our Rpeak bar height (radio + MCU)."""
+        return self.rpeak_radio_mj + self.rpeak_mcu_mj
+
+    @property
+    def saving(self) -> float:
+        """Fractional energy saved by on-node preprocessing."""
+        return 1.0 - self.rpeak_total_mj / self.streaming_total_mj
+
+
+def reproduce_figure4(measure_s: float = 60.0, seed: int = 0,
+                      calibration: Optional[ModelCalibration] = None
+                      ) -> Figure4Result:
+    """Figure 4: streaming at 30 ms vs Rpeak at 120 ms, 5-node static BAN."""
+    cal = calibration or DEFAULT_CALIBRATION
+    streaming = _run_row(BanScenarioConfig(
+        mac="static", app="ecg_streaming", num_nodes=5, cycle_ms=30.0,
+        sampling_hz=205.0, measure_s=measure_s, seed=seed, calibration=cal))
+    rpeak = _run_row(BanScenarioConfig(
+        mac="static", app="rpeak", num_nodes=5, cycle_ms=120.0,
+        heart_rate_bpm=75.0, measure_s=measure_s, seed=seed,
+        calibration=cal))
+    return Figure4Result(
+        streaming_radio_mj=streaming["radio_mj"],
+        streaming_mcu_mj=streaming["mcu_mj"],
+        rpeak_radio_mj=rpeak["radio_mj"],
+        rpeak_mcu_mj=rpeak["mcu_mj"],
+        measure_s=measure_s,
+        paper_streaming_total_mj=_scale(FIGURE_4_STREAMING_TOTAL_MJ,
+                                        measure_s),
+        paper_rpeak_total_mj=_scale(FIGURE_4_RPEAK_TOTAL_MJ, measure_s),
+    )
+
+
+__all__ = [
+    "REPORTED_NODE",
+    "ExperimentRow",
+    "ExperimentResult",
+    "reproduce_table1",
+    "reproduce_table2",
+    "reproduce_table3",
+    "reproduce_table4",
+    "TABLE_REPRODUCERS",
+    "Figure4Result",
+    "reproduce_figure4",
+]

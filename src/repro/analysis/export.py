@@ -1,0 +1,96 @@
+"""Result export: flat records, CSV and JSON.
+
+Downstream analysis (spreadsheets, notebooks, regression dashboards)
+wants flat tables, not nested dataclasses.  This module flattens
+:class:`~repro.core.report.NetworkEnergyResult` and
+:class:`~repro.analysis.experiments.ExperimentResult` into plain
+records and serialises them.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Dict, List, Sequence
+
+from ..core.losses import RadioEnergyCategory
+from ..core.report import NetworkEnergyResult
+from .experiments import ExperimentResult
+
+
+def network_records(result: NetworkEnergyResult,
+                    include_base_station: bool = True
+                    ) -> List[Dict[str, object]]:
+    """One flat record per node (and optionally the base station)."""
+    nodes = list(result.nodes.values())
+    if include_base_station and result.base_station is not None:
+        nodes.append(result.base_station)
+    records: List[Dict[str, object]] = []
+    for node in nodes:
+        record: Dict[str, object] = {
+            "node": node.node_id,
+            "horizon_s": node.horizon_s,
+            "radio_mj": node.radio_mj,
+            "mcu_mj": node.mcu_mj,
+            "asic_mj": node.asic_mj,
+            "total_mj": node.total_mj,
+            "avg_power_mw": node.average_power_mw,
+            "data_tx": node.traffic.data_tx,
+            "data_rx": node.traffic.data_rx,
+            "control_tx": node.traffic.control_tx,
+            "control_rx": node.traffic.control_rx,
+            "overheard": node.traffic.overheard,
+            "corrupted": node.traffic.corrupted,
+        }
+        for category in RadioEnergyCategory:
+            energy = 0.0
+            if node.losses is not None:
+                energy = node.losses.energy_j.get(category, 0.0) * 1e3
+            record[f"loss_{category.value}_mj"] = energy
+        records.append(record)
+    return records
+
+
+def experiment_records(result: ExperimentResult) -> List[Dict[str, object]]:
+    """One flat record per reproduced table row."""
+    return [{
+        "table": result.table_id,
+        "parameter": row.parameter,
+        "cycle_ms": row.cycle_ms,
+        "radio_real_mj": row.radio_real_mj,
+        "radio_paper_sim_mj": row.radio_paper_sim_mj,
+        "radio_ours_mj": row.radio_ours_mj,
+        "mcu_real_mj": row.mcu_real_mj,
+        "mcu_paper_sim_mj": row.mcu_paper_sim_mj,
+        "mcu_ours_mj": row.mcu_ours_mj,
+        "radio_err_vs_real": row.error_vs("real", "radio"),
+        "mcu_err_vs_real": row.error_vs("real", "mcu"),
+    } for row in result.rows]
+
+
+def to_csv(records: Sequence[Dict[str, object]]) -> str:
+    """Serialise flat records as CSV text (stable column order from the
+    first record; floats at 6 significant digits)."""
+    if not records:
+        return ""
+    columns = list(records[0].keys())
+    buffer = io.StringIO()
+    buffer.write(",".join(columns) + "\n")
+    for record in records:
+        cells = []
+        for column in columns:
+            value = record.get(column, "")
+            if isinstance(value, float):
+                cells.append(f"{value:.6g}")
+            else:
+                cells.append(str(value))
+        buffer.write(",".join(cells) + "\n")
+    return buffer.getvalue()
+
+
+def to_json(records: Sequence[Dict[str, object]]) -> str:
+    """Serialise flat records as pretty-printed JSON."""
+    return json.dumps(list(records), indent=2, sort_keys=True)
+
+
+__all__ = ["network_records", "experiment_records", "to_csv", "to_json"]

@@ -1,0 +1,108 @@
+"""Figure regeneration (text/CSV renderers, no plotting dependency).
+
+The paper has one results figure, Figure 4: stacked radio+MCU energy of
+ECG streaming (30 ms cycle) next to Rpeak (120 ms cycle), for both the
+hardware measurement and the simulator.  :func:`render_figure4` draws
+the same four stacked bars as ASCII art and prints the headline saving;
+:func:`figure4_series` exposes the underlying series for plotting or
+CSV export.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from ..data.paper_tables import FIGURE_4
+from .experiments import Figure4Result
+
+
+def figure4_series(result: Figure4Result) -> List[Dict[str, object]]:
+    """The figure's data: one record per bar (paper real/sim + ours)."""
+    records: List[Dict[str, object]] = []
+    scale = result.measure_s / 60.0  # paper bars are 60 s figures
+    for bar in FIGURE_4:
+        records.append({
+            "application": bar.label,
+            "source": bar.source,
+            "radio_mj": bar.radio_mj * scale,
+            "mcu_mj": bar.mcu_mj * scale,
+            "total_mj": bar.total_mj * scale,
+        })
+    records.append({
+        "application": "ECG streaming", "source": "ours",
+        "radio_mj": result.streaming_radio_mj,
+        "mcu_mj": result.streaming_mcu_mj,
+        "total_mj": result.streaming_total_mj,
+    })
+    records.append({
+        "application": "Rpeak", "source": "ours",
+        "radio_mj": result.rpeak_radio_mj,
+        "mcu_mj": result.rpeak_mcu_mj,
+        "total_mj": result.rpeak_total_mj,
+    })
+    return records
+
+
+def figure4_csv(result: Figure4Result) -> str:
+    """The figure's data as CSV text."""
+    lines = ["application,source,radio_mj,mcu_mj,total_mj"]
+    for record in figure4_series(result):
+        lines.append(
+            f"{record['application']},{record['source']},"
+            f"{record['radio_mj']:.1f},{record['mcu_mj']:.1f},"
+            f"{record['total_mj']:.1f}")
+    return "\n".join(lines)
+
+
+def _bar(value: float, scale: float, width: int = 50) -> str:
+    filled = round(width * value / scale) if scale > 0 else 0
+    return "#" * max(0, min(width, filled))
+
+
+def render_figure4(result: Figure4Result) -> str:
+    """ASCII rendition of Figure 4, ours appended to the paper's bars."""
+    records = figure4_series(result)
+    scale = max(r["total_mj"] for r in records)  # type: ignore[type-var]
+    lines = [
+        "Figure 4: ECG streaming (30 ms) vs Rpeak (120 ms), "
+        f"radio+uC energy over {result.measure_s:.0f} s",
+        "",
+    ]
+    for record in records:
+        label = f"{record['application']:<14} {record['source']:<5}"
+        total = float(record["total_mj"])  # type: ignore[arg-type]
+        lines.append(
+            f"  {label} |{_bar(total, float(scale)):<50}| "
+            f"{total:7.1f} mJ  (radio {record['radio_mj']:.1f} "
+            f"+ uC {record['mcu_mj']:.1f})")
+    lines.append("")
+    lines.append(
+        f"  on-node preprocessing saving: ours "
+        f"{100 * result.saving:.0f}%  (paper: "
+        f"{100 * result.paper_saving:.0f}%: "
+        f"{result.paper_streaming_total_mj:.1f} mJ -> "
+        f"{result.paper_rpeak_total_mj:.1f} mJ)")
+    return "\n".join(lines)
+
+
+def table_series(experiment) -> Tuple[List[float], Dict[str, List[float]]]:
+    """Generic series extraction for any reproduced table.
+
+    Returns (parameters, {series name: values}) — convenient for
+    plotting the table as the line chart it implicitly is.
+    """
+    parameters = [row.parameter for row in experiment.rows]
+    series = {
+        "radio_real_mj": [r.radio_real_mj for r in experiment.rows],
+        "radio_paper_sim_mj": [r.radio_paper_sim_mj
+                               for r in experiment.rows],
+        "radio_ours_mj": [r.radio_ours_mj for r in experiment.rows],
+        "mcu_real_mj": [r.mcu_real_mj for r in experiment.rows],
+        "mcu_paper_sim_mj": [r.mcu_paper_sim_mj for r in experiment.rows],
+        "mcu_ours_mj": [r.mcu_ours_mj for r in experiment.rows],
+    }
+    return parameters, series
+
+
+__all__ = ["figure4_series", "figure4_csv", "render_figure4",
+           "table_series"]

@@ -1,0 +1,63 @@
+"""Battery-lifetime projection from simulated energy figures.
+
+The motivation of the whole platform is autonomy ("replacement of power
+supplies in patients can be a very tedious and unpleasant task",
+Section 1): the actionable output of the energy model is *how long a
+node lasts*.  This module turns a :class:`NodeEnergyResult` into a
+runtime projection for a given battery, optionally including the
+constant-power sensing ASIC the validation tables exclude.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.report import NodeEnergyResult
+from ..hw.battery import Battery
+
+
+@dataclass(frozen=True)
+class LifetimeProjection:
+    """Projected runtime of one node on one battery."""
+
+    node_id: str
+    battery: Battery
+    average_power_mw: float
+    include_asic: bool
+    hours: float
+
+    @property
+    def days(self) -> float:
+        """Runtime in days."""
+        return self.hours / 24.0
+
+    def render(self) -> str:
+        """One-line summary."""
+        scope = "radio+MCU+ASIC" if self.include_asic else "radio+MCU"
+        return (f"{self.node_id}: {self.average_power_mw:.2f} mW "
+                f"({scope}) on {self.battery.capacity_mah:.0f} mAh "
+                f"=> {self.hours:.0f} h ({self.days:.1f} days)")
+
+
+def project_lifetime(node: NodeEnergyResult, battery: Battery,
+                     include_asic: bool = True) -> LifetimeProjection:
+    """Project a node's battery life from a measured window.
+
+    Assumes the measured window is representative steady state (true
+    for the paper's periodic TDMA workloads).
+    """
+    if node.horizon_s <= 0:
+        raise ValueError("node result has a non-positive horizon")
+    energy_mj = node.total_with_asic_mj if include_asic else node.total_mj
+    average_power_w = energy_mj * 1e-3 / node.horizon_s
+    hours = battery.lifetime_hours(average_power_w)
+    return LifetimeProjection(
+        node_id=node.node_id,
+        battery=battery,
+        average_power_mw=average_power_w * 1e3,
+        include_asic=include_asic,
+        hours=hours,
+    )
+
+
+__all__ = ["LifetimeProjection", "project_lifetime"]

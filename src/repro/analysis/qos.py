@@ -1,0 +1,158 @@
+"""Quality-of-service metrics and the energy/latency Pareto frontier.
+
+Energy is half of a BAN design problem; the other half is how fast
+vital-sign events reach the clinician.  The TDMA cycle couples them
+directly — a longer cycle saves radio energy (fewer beacon windows per
+second) but delays every beat report by up to a cycle.  This module
+measures that latency from simulation output and finds the
+Pareto-optimal operating points.
+
+**Latency definition**: a beat report carries its on-node detection
+time (``detected_at_s``); the base station stamps its delivery time.
+Report latency = delivery − detection: it contains the wait for the
+node's next TDMA slot plus queueing behind earlier reports.
+
+The Pareto tooling is generic: any (cost, quality) pairs work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..net.scenario import BanScenario, BanScenarioConfig
+from .experiments import REPORTED_NODE
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Distribution summary of report latencies, in seconds."""
+
+    samples: Tuple[float, ...]
+
+    @property
+    def n(self) -> int:
+        """Number of reports measured."""
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Mean latency."""
+        return sum(self.samples) / self.n if self.samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        """Worst observed latency."""
+        return max(self.samples) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        """q-quantile by nearest-rank (0 < q <= 1)."""
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"q out of (0,1]: {q}")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(0, min(len(ordered) - 1,
+                          round(q * len(ordered)) - 1))
+        return ordered[rank]
+
+
+def beat_report_latencies(scenario: BanScenario,
+                          node_id: str = REPORTED_NODE) -> LatencyStats:
+    """Latencies of every beat report delivered from ``node_id``.
+
+    Requires a run() to have completed; reads the base station's
+    timestamped delivery log.
+    """
+    samples: List[float] = []
+    for arrival_s, frame in scenario.base_station.deliveries:
+        if frame.src != node_id:
+            continue
+        payload = frame.payload
+        if not isinstance(payload, dict):
+            continue
+        detected = payload.get("detected_at_s")
+        if detected is None:
+            continue
+        samples.append(arrival_s - detected)
+    return LatencyStats(samples=tuple(samples))
+
+
+# ---------------------------------------------------------------------------
+# Pareto machinery
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated configuration."""
+
+    label: str
+    energy_mj: float
+    latency_s: float
+    detail: Optional[object] = None
+
+
+def pareto_front(points: Sequence[DesignPoint]) -> List[DesignPoint]:
+    """Non-dominated subset (minimise both energy and latency).
+
+    A point is dominated when another is no worse on both axes and
+    strictly better on at least one.
+    """
+    front: List[DesignPoint] = []
+    for candidate in points:
+        dominated = False
+        for other in points:
+            if other is candidate:
+                continue
+            if (other.energy_mj <= candidate.energy_mj
+                    and other.latency_s <= candidate.latency_s
+                    and (other.energy_mj < candidate.energy_mj
+                         or other.latency_s < candidate.latency_s)):
+                dominated = True
+                break
+        if not dominated:
+            front.append(candidate)
+    front.sort(key=lambda p: p.energy_mj)
+    return front
+
+
+def evaluate_rpeak_cycles(cycles_ms: Sequence[float],
+                          measure_s: float = 20.0,
+                          num_nodes: int = 5,
+                          heart_rate_bpm: float = 75.0,
+                          seed: int = 0) -> List[DesignPoint]:
+    """The canonical energy/latency sweep: Rpeak over static TDMA with
+    the cycle length as the tuning knob."""
+    points: List[DesignPoint] = []
+    for cycle_ms in cycles_ms:
+        config = BanScenarioConfig(
+            mac="static", app="rpeak", num_nodes=num_nodes,
+            cycle_ms=cycle_ms, heart_rate_bpm=heart_rate_bpm,
+            measure_s=measure_s, seed=seed)
+        scenario = BanScenario(config)
+        result = scenario.run()
+        node = result.node(REPORTED_NODE)
+        latency = beat_report_latencies(scenario)
+        points.append(DesignPoint(
+            label=f"rpeak@{cycle_ms:.0f}ms",
+            energy_mj=node.total_mj,
+            latency_s=latency.mean,
+            detail={"latency": latency, "node": node},
+        ))
+    return points
+
+
+def render_tradeoff(points: Sequence[DesignPoint]) -> str:
+    """Text table of a design sweep with the frontier marked."""
+    front = set(id(p) for p in pareto_front(points))
+    lines = [f"{'config':<16} {'energy (mJ)':>12} {'latency (ms)':>13} "
+             f"{'Pareto':>7}"]
+    for point in sorted(points, key=lambda p: p.energy_mj):
+        marker = "*" if id(point) in front else ""
+        lines.append(f"{point.label:<16} {point.energy_mj:>12.1f} "
+                     f"{1e3 * point.latency_s:>13.1f} {marker:>7}")
+    return "\n".join(lines)
+
+
+__all__ = ["LatencyStats", "beat_report_latencies", "DesignPoint",
+           "pareto_front", "evaluate_rpeak_cycles", "render_tradeoff"]

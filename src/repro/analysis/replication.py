@@ -1,0 +1,126 @@
+"""Seed replication and summary statistics.
+
+Deterministic scenarios need one run; *stochastic* ones (loss models,
+clock skew, contended joins) need replication to report a mean and a
+confidence interval instead of a single draw.  This module runs a
+scenario across seeds and summarises any numeric metric of the result.
+
+The default metrics cover the quantities the experiments report
+(node radio/MCU energy, traffic counters); arbitrary extractors are
+accepted for anything else.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..core.report import NetworkEnergyResult
+from ..net.scenario import BanScenario, BanScenarioConfig
+
+#: An extractor maps a run's result to one number.
+Metric = Callable[[NetworkEnergyResult], float]
+
+
+def node_metric(node_id: str, attribute: str) -> Metric:
+    """Extractor for a node attribute (``"radio_mj"``, ``"mcu_mj"``...)."""
+    def extract(result: NetworkEnergyResult) -> float:
+        return float(getattr(result.node(node_id), attribute))
+    return extract
+
+
+def traffic_metric(node_id: str, field: str) -> Metric:
+    """Extractor for a traffic counter (``"data_tx"``...)."""
+    def extract(result: NetworkEnergyResult) -> float:
+        return float(getattr(result.node(node_id).traffic, field))
+    return extract
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Replicated statistics of one metric."""
+
+    name: str
+    samples: Sequence[float]
+
+    @property
+    def n(self) -> int:
+        """Number of replications."""
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        """Sample mean."""
+        return sum(self.samples) / self.n
+
+    @property
+    def stddev(self) -> float:
+        """Sample standard deviation (Bessel-corrected)."""
+        if self.n < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(sum((x - mean) ** 2 for x in self.samples)
+                         / (self.n - 1))
+
+    @property
+    def stderr(self) -> float:
+        """Standard error of the mean."""
+        if self.n < 2:
+            return 0.0
+        return self.stddev / math.sqrt(self.n)
+
+    def ci95(self) -> float:
+        """~95% confidence half-width (normal approximation)."""
+        return 1.96 * self.stderr
+
+    @property
+    def minimum(self) -> float:
+        """Smallest sample."""
+        return min(self.samples)
+
+    @property
+    def maximum(self) -> float:
+        """Largest sample."""
+        return max(self.samples)
+
+    def render(self) -> str:
+        """``name: mean ± ci (n=..)`` one-liner."""
+        return (f"{self.name}: {self.mean:.3f} ± {self.ci95():.3f} "
+                f"(n={self.n}, range {self.minimum:.3f}"
+                f"..{self.maximum:.3f})")
+
+
+def replicate(config: BanScenarioConfig, seeds: Sequence[int],
+              metrics: Dict[str, Metric]) -> Dict[str, Summary]:
+    """Run ``config`` once per seed; summarise each metric.
+
+    The config's own ``seed`` field is overridden per run.
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    if not metrics:
+        raise ValueError("need at least one metric")
+    samples: Dict[str, List[float]] = {name: [] for name in metrics}
+    for seed in seeds:
+        run_config = dataclasses.replace(config, seed=seed)
+        result = BanScenario(run_config).run()
+        for name, metric in metrics.items():
+            samples[name].append(metric(result))
+    return {name: Summary(name=name, samples=tuple(values))
+            for name, values in samples.items()}
+
+
+def default_metrics(node_id: str = "node1") -> Dict[str, Metric]:
+    """The standard metric set for one node."""
+    return {
+        "radio_mj": node_metric(node_id, "radio_mj"),
+        "mcu_mj": node_metric(node_id, "mcu_mj"),
+        "data_tx": traffic_metric(node_id, "data_tx"),
+        "corrupted": traffic_metric(node_id, "corrupted"),
+    }
+
+
+__all__ = ["Metric", "node_metric", "traffic_metric", "Summary",
+           "replicate", "default_metrics"]

@@ -1,0 +1,156 @@
+"""Calibration sensitivity (tornado) analysis.
+
+Four of the model's parameters are fitted rather than measured (the
+guard windows, TX event overheads and per-task MCU costs — DESIGN.md
+§3).  How much does each one matter?  This module perturbs each
+calibration parameter by ±``relative`` and recomputes the node energy
+with the closed-form predictor, producing the classic tornado ranking:
+parameters whose swing moves the result most deserve the most
+measurement care.
+
+Because the predictor is analytic, a full tornado over every parameter
+is instantaneous — this is the "what should we calibrate first?"
+tool a platform bring-up wants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from ..core.calibration import ModelCalibration
+from ..net.scenario import BanScenarioConfig
+from .closed_form import predict
+
+#: The perturbable calibration parameters: name -> (getter, setter).
+#: Setters return a *new* ModelCalibration (everything is frozen).
+
+
+def _replace_sync(cal: ModelCalibration, **kw) -> ModelCalibration:
+    return dataclasses.replace(cal,
+                               sync=dataclasses.replace(cal.sync, **kw))
+
+
+def _replace_timing(cal: ModelCalibration, **kw) -> ModelCalibration:
+    return dataclasses.replace(
+        cal, radio_timing=dataclasses.replace(cal.radio_timing, **kw))
+
+
+def _replace_costs(cal: ModelCalibration, **kw) -> ModelCalibration:
+    kw = {key: round(value) for key, value in kw.items()}
+    return dataclasses.replace(
+        cal, mcu_costs=dataclasses.replace(cal.mcu_costs, **kw))
+
+
+Scaler = Callable[[ModelCalibration, float], ModelCalibration]
+
+#: name -> function scaling that one parameter by ``factor``.
+PARAMETERS: Dict[str, Scaler] = {
+    "radio_rx_current": lambda cal, f: dataclasses.replace(
+        cal, radio_rx_a=cal.radio_rx_a * f),
+    "radio_tx_current": lambda cal, f: dataclasses.replace(
+        cal, radio_tx_a=cal.radio_tx_a * f),
+    "mcu_active_current": lambda cal, f: dataclasses.replace(
+        cal, mcu_active_a=cal.mcu_active_a * f),
+    "mcu_sleep_current": lambda cal, f: dataclasses.replace(
+        cal, mcu_sleep_a=cal.mcu_sleep_a * f),
+    "static_guard_lead": lambda cal, f: _replace_sync(
+        cal, static_lead_s=cal.sync.static_lead_s * f),
+    "dynamic_guard_base": lambda cal, f: _replace_sync(
+        cal, dynamic_base_lead_s=cal.sync.dynamic_base_lead_s * f),
+    "tx_settle_time": lambda cal, f: _replace_timing(
+        cal, tx_settle_s=cal.radio_timing.tx_settle_s * f),
+    "beacon_processing_cost": lambda cal, f: _replace_costs(
+        cal, beacon_processing=cal.mcu_costs.beacon_processing * f),
+    "packet_preparation_cost": lambda cal, f: _replace_costs(
+        cal, packet_preparation=cal.mcu_costs.packet_preparation * f),
+    "sample_acquisition_cost": lambda cal, f: _replace_costs(
+        cal, sample_acquisition=cal.mcu_costs.sample_acquisition * f),
+    "rpeak_algorithm_cost": lambda cal, f: _replace_costs(
+        cal, rpeak_algorithm=cal.mcu_costs.rpeak_algorithm * f),
+}
+
+
+@dataclass(frozen=True)
+class SensitivityEntry:
+    """One tornado bar: the output swing from one parameter's ±range."""
+
+    parameter: str
+    nominal_mj: float
+    low_mj: float
+    high_mj: float
+
+    @property
+    def swing_mj(self) -> float:
+        """|high - low| — the bar length."""
+        return abs(self.high_mj - self.low_mj)
+
+    @property
+    def swing_fraction(self) -> float:
+        """Swing relative to the nominal output."""
+        if self.nominal_mj <= 0:
+            return 0.0
+        return self.swing_mj / self.nominal_mj
+
+
+def tornado(config: BanScenarioConfig, relative: float = 0.10,
+            parameters: Sequence[str] = tuple(PARAMETERS),
+            quantity: str = "total") -> List[SensitivityEntry]:
+    """Sensitivity of the node energy to each calibration parameter.
+
+    Args:
+        config: the scenario whose energy is analysed.
+        relative: the ± perturbation (0.10 = ±10%).
+        parameters: which parameters to perturb (default: all).
+        quantity: ``"total"`` (radio+MCU), ``"radio"`` or ``"mcu"``.
+
+    Returns entries sorted by decreasing swing.
+    """
+    if not 0.0 < relative < 1.0:
+        raise ValueError(f"relative perturbation out of (0,1): {relative}")
+
+    def value_of(cal: ModelCalibration) -> float:
+        prediction = predict(dataclasses.replace(config, calibration=cal))
+        if quantity == "total":
+            return prediction.total_mj
+        if quantity == "radio":
+            return prediction.radio_mj
+        if quantity == "mcu":
+            return prediction.mcu_mj
+        raise ValueError(
+            f"quantity must be total/radio/mcu, got {quantity!r}")
+
+    nominal = value_of(config.calibration)
+    entries: List[SensitivityEntry] = []
+    for name in parameters:
+        try:
+            scale = PARAMETERS[name]
+        except KeyError:
+            raise KeyError(f"unknown parameter {name!r}; "
+                           f"known: {sorted(PARAMETERS)}") from None
+        low = value_of(scale(config.calibration, 1.0 - relative))
+        high = value_of(scale(config.calibration, 1.0 + relative))
+        entries.append(SensitivityEntry(parameter=name,
+                                        nominal_mj=nominal,
+                                        low_mj=low, high_mj=high))
+    entries.sort(key=lambda e: e.swing_mj, reverse=True)
+    return entries
+
+
+def render_tornado(entries: Sequence[SensitivityEntry],
+                   width: int = 40) -> str:
+    """ASCII tornado chart."""
+    if not entries:
+        return "(no parameters)"
+    scale = max(e.swing_mj for e in entries) or 1.0
+    lines = [f"Tornado: output nominal {entries[0].nominal_mj:.1f} mJ"]
+    for entry in entries:
+        bar = "#" * max(1, round(width * entry.swing_mj / scale))
+        lines.append(
+            f"  {entry.parameter:<26} {bar:<{width}} "
+            f"{entry.swing_mj:7.2f} mJ ({100 * entry.swing_fraction:.1f}%)")
+    return "\n".join(lines)
+
+
+__all__ = ["PARAMETERS", "SensitivityEntry", "tornado", "render_tornado"]

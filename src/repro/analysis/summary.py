@@ -1,0 +1,85 @@
+"""One-shot reproduction report.
+
+:func:`full_report` regenerates the paper's whole evaluation — all four
+tables, Figure 4 and the validation error summary — plus the analytic
+cross-check and a loss-taxonomy digest, as a single text document.
+``repro-ban report --out report.txt`` is the command-line wrapper; the
+result is what EXPERIMENTS.md summarises, produced fresh.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.calibration import ModelCalibration
+from ..core.losses import RadioEnergyCategory
+from ..net.scenario import BanScenario, BanScenarioConfig
+from .closed_form import predict
+from .experiments import TABLE_REPRODUCERS, reproduce_figure4
+from .figures import render_figure4
+from .validation import validate_all
+
+#: Banner width for section separators.
+WIDTH = 72
+
+
+def _section(title: str) -> str:
+    return f"\n{'=' * WIDTH}\n{title}\n{'=' * WIDTH}\n"
+
+
+def full_report(measure_s: float = 60.0, seed: int = 0,
+                calibration: Optional[ModelCalibration] = None) -> str:
+    """Regenerate the complete evaluation as one text report."""
+    parts = [
+        "Reproduction report — Rincon et al., \"OS-Based Sensor Node "
+        "Platform and Energy\nEstimation Model for Health-Care Wireless "
+        "Sensor Networks\" (DATE 2008)",
+        f"Measurement window: {measure_s:.0f} s per scenario "
+        f"(paper: 60 s); seed {seed}.",
+    ]
+
+    results = {}
+    for table_id in sorted(TABLE_REPRODUCERS):
+        reproduce = TABLE_REPRODUCERS[table_id]
+        result = reproduce(measure_s=measure_s, seed=seed,
+                           calibration=calibration)
+        results[table_id] = result
+        parts.append(_section(f"{table_id.upper()}"))
+        parts.append(result.render())
+
+    parts.append(_section("FIGURE 4"))
+    figure = reproduce_figure4(measure_s=measure_s, seed=seed,
+                               calibration=calibration)
+    parts.append(render_figure4(figure))
+
+    parts.append(_section("VALIDATION SUMMARY"))
+    parts.append(validate_all(results).render())
+
+    parts.append(_section("ANALYTIC CROSS-CHECK (Table 1 row 1)"))
+    config = BanScenarioConfig(mac="static", app="ecg_streaming",
+                               num_nodes=5, cycle_ms=30.0,
+                               sampling_hz=205.0, measure_s=measure_s,
+                               seed=seed)
+    if calibration is not None:
+        import dataclasses
+        config = dataclasses.replace(config, calibration=calibration)
+    prediction = predict(config)
+    simulated = results["table1"].rows[0]
+    parts.append(
+        f"closed form: radio {prediction.radio_mj:.1f} mJ, "
+        f"uC {prediction.mcu_mj:.1f} mJ\n"
+        f"simulated:   radio {simulated.radio_ours_mj:.1f} mJ, "
+        f"uC {simulated.mcu_ours_mj:.1f} mJ")
+
+    parts.append(_section("LOSS TAXONOMY (Table 1 row 1, node1)"))
+    node = BanScenario(config).run().node("node1")
+    assert node.losses is not None
+    for category in RadioEnergyCategory:
+        energy = node.losses.energy_j.get(category, 0.0) * 1e3
+        parts.append(f"  {category.value:<16} {energy:8.1f} mJ  "
+                     f"({100 * node.losses.fraction(category):5.1f}%)")
+
+    return "\n".join(parts)
+
+
+__all__ = ["full_report"]

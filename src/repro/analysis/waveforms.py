@@ -1,0 +1,169 @@
+"""Power-state waveform capture and VCD export.
+
+For EDA-style debugging, the power behaviour of a BAN *is* a waveform:
+each component's power state over time.  :class:`WaveformProbe`
+subscribes to component ledgers' transition hooks and records the state
+timeline; :func:`write_vcd` serialises the captured timelines as a
+Value Change Dump viewable in GTKWave & co. (string-typed signals, 1 ns
+timescale — the simulator's native resolution).
+
+Typical use::
+
+    scenario = BanScenario(config)
+    probe = WaveformProbe.attach_to_scenario(scenario)
+    scenario.run()
+    probe.write_vcd("ban.vcd")
+
+Probes also answer timing questions directly (tests use this):
+``probe.intervals("node1.radio", "rx")`` returns the exact RX windows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, IO, List, Optional, Tuple
+
+from ..core.ledger import PowerStateLedger
+
+
+@dataclass(frozen=True)
+class StateChange:
+    """One recorded transition."""
+
+    time: int
+    state: str
+    tag: str
+
+
+class WaveformProbe:
+    """Records power-state timelines from any number of ledgers."""
+
+    def __init__(self) -> None:
+        self._timelines: Dict[str, List[StateChange]] = {}
+        self._ledgers: Dict[str, PowerStateLedger] = {}
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach(self, name: str, ledger: PowerStateLedger) -> None:
+        """Start recording ``ledger`` under signal name ``name``."""
+        if name in self._timelines:
+            raise ValueError(f"duplicate waveform signal {name!r}")
+        timeline: List[StateChange] = [
+            StateChange(0, ledger.state, ledger.tag)]
+        self._timelines[name] = timeline
+        self._ledgers[name] = ledger
+        ledger.on_transition = (
+            lambda time, state, tag:
+            timeline.append(StateChange(time, state, tag)))
+
+    @classmethod
+    def attach_to_scenario(cls, scenario) -> "WaveformProbe":
+        """Probe every radio and MCU in a built (un-run) BanScenario."""
+        probe = cls()
+        probe.attach("base_station.radio",
+                     scenario.base_station.radio.ledger)
+        probe.attach("base_station.mcu", scenario.base_station.mcu.ledger)
+        for node in scenario.nodes:
+            probe.attach(f"{node.node_id}.radio", node.radio.ledger)
+            probe.attach(f"{node.node_id}.mcu", node.mcu.ledger)
+        return probe
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def signals(self) -> List[str]:
+        """Recorded signal names."""
+        return sorted(self._timelines)
+
+    def timeline(self, name: str) -> List[StateChange]:
+        """The raw change list for one signal."""
+        try:
+            return list(self._timelines[name])
+        except KeyError:
+            raise KeyError(
+                f"unknown signal {name!r}; known: {self.signals}") from None
+
+    def intervals(self, name: str, state: str,
+                  end_time: Optional[int] = None
+                  ) -> List[Tuple[int, int]]:
+        """Closed intervals [start, end) the signal spent in ``state``.
+
+        The trailing open interval is closed at ``end_time`` (defaults
+        to the last recorded change, i.e. dropped).
+        """
+        changes = self._timelines.get(name)
+        if changes is None:
+            raise KeyError(f"unknown signal {name!r}")
+        out: List[Tuple[int, int]] = []
+        current_start: Optional[int] = None
+        for change in changes:
+            if current_start is not None and change.state != state:
+                # Re-tags within the same state do not split an interval.
+                out.append((current_start, change.time))
+                current_start = None
+            elif current_start is None and change.state == state:
+                current_start = change.time
+        if current_start is not None and end_time is not None \
+                and end_time > current_start:
+            out.append((current_start, end_time))
+        # Merge zero-length artefacts (same-instant transitions).
+        return [(a, b) for a, b in out if b > a]
+
+    # ------------------------------------------------------------------
+    # VCD export
+    # ------------------------------------------------------------------
+    def write_vcd(self, path_or_file, timescale: str = "1 ns") -> None:
+        """Serialise all timelines as a VCD file.
+
+        States are emitted as VCD string (real-text) signals, one per
+        component, so viewers show named power states directly.
+        """
+        if hasattr(path_or_file, "write"):
+            self._write_vcd(path_or_file, timescale)
+            return
+        with open(path_or_file, "w") as handle:
+            self._write_vcd(handle, timescale)
+
+    def _write_vcd(self, out: IO[str], timescale: str) -> None:
+        out.write("$date reproduction run $end\n")
+        out.write("$version repro BAN energy simulator $end\n")
+        out.write(f"$timescale {timescale} $end\n")
+        out.write("$scope module ban $end\n")
+        codes: Dict[str, str] = {}
+        for index, name in enumerate(self.signals):
+            code = self._identifier(index)
+            codes[name] = code
+            safe = name.replace(".", "_")
+            out.write(f"$var string 1 {code} {safe} $end\n")
+        out.write("$upscope $end\n$enddefinitions $end\n")
+
+        events: List[Tuple[int, str, str]] = []
+        for name, changes in self._timelines.items():
+            for change in changes:
+                value = f"{change.state}"
+                if change.tag != change.state:
+                    value += f":{change.tag}"
+                events.append((change.time, codes[name], value))
+        events.sort(key=lambda e: e[0])
+
+        current_time: Optional[int] = None
+        for time, code, value in events:
+            if time != current_time:
+                out.write(f"#{time}\n")
+                current_time = time
+            out.write(f"s{value} {code}\n")
+
+    @staticmethod
+    def _identifier(index: int) -> str:
+        # Printable VCD identifier characters: '!' (33) .. '~' (126).
+        chars = []
+        index += 1
+        while index:
+            index, rem = divmod(index - 1, 94)
+            chars.append(chr(33 + rem))
+        return "".join(reversed(chars))
+
+
+__all__ = ["StateChange", "WaveformProbe"]

@@ -1,0 +1,34 @@
+"""Applications: the paper's ECG streaming and Rpeak case studies, plus
+the EEG-streaming and adaptive-cardiac extensions."""
+
+from .adaptive import AdaptiveCardiacApp, CardiacMode
+from .base import SamplingApplication
+from .eeg_streaming import DEFAULT_EEG_SAMPLING_HZ, EegStreamingApp
+from .ecg_streaming import (
+    BITS_PER_CODE,
+    DEFAULT_PAYLOAD_BYTES,
+    EcgStreamingApp,
+    codes_per_payload,
+    pack_codes,
+    unpack_codes,
+)
+from .rpeak import BEAT_PAYLOAD_BYTES, RPEAK_SAMPLING_HZ, RpeakApp
+from .rpeak_detector import RPeakDetector
+
+__all__ = [
+    "AdaptiveCardiacApp",
+    "CardiacMode",
+    "SamplingApplication",
+    "DEFAULT_EEG_SAMPLING_HZ",
+    "EegStreamingApp",
+    "BITS_PER_CODE",
+    "DEFAULT_PAYLOAD_BYTES",
+    "EcgStreamingApp",
+    "codes_per_payload",
+    "pack_codes",
+    "unpack_codes",
+    "BEAT_PAYLOAD_BYTES",
+    "RPEAK_SAMPLING_HZ",
+    "RpeakApp",
+    "RPeakDetector",
+]

@@ -1,0 +1,125 @@
+"""Application base class: periodic multi-channel sampling.
+
+Both case-study applications (Section 5) share the same skeleton: a
+TinyOS timer fires at the sampling frequency, a task acquires one ADC
+sample per monitored channel, and the application decides what (if
+anything) to hand the MAC at its next slot.  The skeleton lives here;
+subclasses implement :meth:`handle_samples` (what to do with a sample
+vector) and :meth:`next_payload` (what to transmit).
+
+MCU cost: each timer fire posts one task costing
+``channels * sample_acquisition`` cycles plus whatever
+:meth:`extra_cycles_per_channel` adds (the Rpeak detector's algorithm
+cost) — exactly the calibrated per-sample decomposition.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from ..core.calibration import ModelCalibration
+from ..hw.adc import Adc12
+from ..hw.asic import BiopotentialAsic
+from ..mac.base import AppPayload, NodeMac
+from ..sim.kernel import Simulator
+from ..sim.simtime import TICKS_PER_SECOND
+from ..sim.trace import TraceRecorder
+from ..tinyos.components import Component
+from ..tinyos.scheduler import TaskScheduler
+from ..tinyos.timers import VirtualTimer
+
+
+class SamplingApplication(Component):
+    """Periodic ADC sampling over a set of ASIC channels.
+
+    Args:
+        sim: simulation kernel.
+        scheduler: the node's TinyOS scheduler (MCU cost sink).
+        asic: the sensing front-end.
+        adc: the MCU's ADC.
+        mac: the node's MAC; the app registers as its payload provider.
+        calibration: model constants.
+        channels: ASIC channel indices to sample each period.
+        sampling_hz: per-channel sampling frequency.
+    """
+
+    def __init__(self, sim: Simulator, scheduler: TaskScheduler,
+                 asic: BiopotentialAsic, adc: Adc12, mac: NodeMac,
+                 calibration: ModelCalibration,
+                 channels: Sequence[int], sampling_hz: float,
+                 name: str = "app",
+                 trace: Optional[TraceRecorder] = None) -> None:
+        super().__init__(sim, name, trace)
+        if not channels:
+            raise ValueError(f"{name}: need at least one channel")
+        if sampling_hz <= 0:
+            raise ValueError(
+                f"{name}: sampling rate must be positive: {sampling_hz}")
+        self._scheduler = scheduler
+        self._asic = asic
+        self._adc = adc
+        self._mac = mac
+        self._cal = calibration
+        self.channels = tuple(channels)
+        self.sampling_hz = sampling_hz
+        self._timer = VirtualTimer(sim, self._sample_tick,
+                                   name=f"{name}.sample_timer")
+        self._samples_taken = 0
+        mac.payload_provider = self.next_payload
+
+    # ------------------------------------------------------------------
+    # Subclass interface
+    # ------------------------------------------------------------------
+    def handle_samples(self, codes: Tuple[int, ...]) -> None:
+        """Consume one sample vector (one ADC code per channel)."""
+        raise NotImplementedError
+
+    def next_payload(self) -> Optional[AppPayload]:
+        """What the MAC should transmit in the upcoming slot, if anything."""
+        raise NotImplementedError
+
+    def extra_cycles_per_channel(self) -> int:
+        """Additional per-channel-sample MCU cost (e.g. beat detection)."""
+        return 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def on_start(self) -> None:
+        period = round(TICKS_PER_SECOND / self.sampling_hz)
+        self._timer.start_periodic(period)
+
+    def on_stop(self) -> None:
+        self._timer.stop()
+
+    @property
+    def samples_taken(self) -> int:
+        """Sample vectors acquired so far (one per timer fire)."""
+        return self._samples_taken
+
+    @property
+    def sample_period_ticks(self) -> int:
+        """The sampling period in ticks."""
+        return round(TICKS_PER_SECOND / self.sampling_hz)
+
+    def next_wake_hint(self):
+        """Absolute time of the next sampling tick (power-policy hint)."""
+        return self._timer.next_fire_ticks
+
+    # ------------------------------------------------------------------
+    # Sampling machinery
+    # ------------------------------------------------------------------
+    def _sample_tick(self) -> None:
+        cost = len(self.channels) * (self._cal.mcu_costs.sample_acquisition
+                                     + self.extra_cycles_per_channel())
+        self._scheduler.post(self._acquire, cost,
+                             label=f"{self.name}.sample")
+
+    def _acquire(self) -> None:
+        codes = tuple(self._adc.convert(self._asic.read_channel(c))
+                      for c in self.channels)
+        self._samples_taken += 1
+        self.handle_samples(codes)
+
+
+__all__ = ["SamplingApplication"]

@@ -1,0 +1,106 @@
+"""Rpeak application (Section 5.2): on-node beat detection.
+
+Samples each channel at 200 Hz and runs the beat-detection algorithm on
+every sample; when the algorithm reports a beat, a small packet with
+the channel and the sample lag is queued for the node's next TDMA slot.
+Moving the computation onto the node cuts the radio payload from a
+continuous stream to ~1.25 packets/s (at 75 bpm), which is the 65 %
+energy saving Figure 4 quantifies.
+
+MCU cost: each channel-sample pays ``sample_acquisition`` plus the
+calibrated ``rpeak_algorithm`` cycles.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, Optional, Sequence, Tuple
+
+from ..core.calibration import ModelCalibration
+from ..hw.adc import Adc12
+from ..hw.asic import BiopotentialAsic
+from ..mac.base import AppPayload, NodeMac
+from ..sim.kernel import Simulator
+from ..sim.simtime import to_seconds
+from ..sim.trace import TraceRecorder
+from ..tinyos.scheduler import TaskScheduler
+from .base import SamplingApplication
+from .rpeak_detector import RPeakDetector
+
+#: The Rpeak sampling frequency is fixed by the algorithm (Section 5.2).
+RPEAK_SAMPLING_HZ = 200.0
+
+#: On-air payload of one beat report: channel, lag, beat counter.
+BEAT_PAYLOAD_BYTES = 4
+
+
+class RpeakApp(SamplingApplication):
+    """Detect beats locally; transmit one small packet per beat.
+
+    Args:
+        detector_kwargs: overrides forwarded to each channel's
+            :class:`RPeakDetector` (threshold, refractory, ...).
+        pending_limit: bound on queued, not-yet-transmitted beat
+            reports; overflow drops the oldest (diagnostic counter).
+    """
+
+    def __init__(self, sim: Simulator, scheduler: TaskScheduler,
+                 asic: BiopotentialAsic, adc: Adc12, mac: NodeMac,
+                 calibration: ModelCalibration,
+                 channels: Sequence[int] = (0, 1),
+                 sampling_hz: float = RPEAK_SAMPLING_HZ,
+                 detector_kwargs: Optional[Dict] = None,
+                 pending_limit: int = 16,
+                 name: str = "rpeak",
+                 trace: Optional[TraceRecorder] = None) -> None:
+        super().__init__(sim, scheduler, asic, adc, mac, calibration,
+                         channels, sampling_hz, name=name, trace=trace)
+        kwargs = dict(detector_kwargs or {})
+        self._detectors = {channel: RPeakDetector(sampling_hz, **kwargs)
+                           for channel in self.channels}
+        self._pending: Deque[Dict] = deque(maxlen=pending_limit)
+        self.beats_detected = 0
+        self.beat_packets_sent = 0
+        self.reports_dropped = 0
+        self._beat_counter = 0
+
+    # ------------------------------------------------------------------
+    def extra_cycles_per_channel(self) -> int:
+        return self._cal.mcu_costs.rpeak_algorithm
+
+    def handle_samples(self, codes: Tuple[int, ...]) -> None:
+        for channel, code in zip(self.channels, codes):
+            lag = self._detectors[channel].process(float(code))
+            if lag > 0:
+                self._beat_counter += 1
+                self.beats_detected += 1
+                report = {
+                    "kind": "beat",
+                    "channel": channel,
+                    "lag_samples": lag,
+                    "beat_id": self._beat_counter,
+                    "detected_at_s": to_seconds(self._sim.now),
+                }
+                if len(self._pending) == self._pending.maxlen:
+                    self.reports_dropped += 1
+                self._pending.append(report)
+
+    def next_payload(self) -> Optional[AppPayload]:
+        if not self._pending:
+            return None  # idle cycle: the radio slot stays unused
+        report = self._pending.popleft()
+        self.beat_packets_sent += 1
+        return (BEAT_PAYLOAD_BYTES, report)
+
+    # ------------------------------------------------------------------
+    @property
+    def pending_reports(self) -> int:
+        """Beat reports waiting for a slot."""
+        return len(self._pending)
+
+    def detector_for(self, channel: int) -> RPeakDetector:
+        """The per-channel detector (tests, diagnostics)."""
+        return self._detectors[channel]
+
+
+__all__ = ["RpeakApp", "RPEAK_SAMPLING_HZ", "BEAT_PAYLOAD_BYTES"]

@@ -1,0 +1,31 @@
+"""Baseline estimators the paper's simulator is argued against."""
+
+from .powertossim import (
+    BasicBlock,
+    BlockProgram,
+    CycleMapping,
+    build_program,
+    estimate_mcu_energy,
+    mapping_error_sweep,
+)
+from .naive import (
+    ENERGY_PER_INSTRUCTION_J,
+    BaselineEstimate,
+    Fidelity,
+    estimate,
+    fidelity_ladder,
+)
+
+__all__ = [
+    "BasicBlock",
+    "BlockProgram",
+    "CycleMapping",
+    "build_program",
+    "estimate_mcu_energy",
+    "mapping_error_sweep",
+    "ENERGY_PER_INSTRUCTION_J",
+    "BaselineEstimate",
+    "Fidelity",
+    "estimate",
+    "fidelity_ladder",
+]

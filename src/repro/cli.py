@@ -1,0 +1,310 @@
+"""Command-line interface: ``repro-ban`` (or ``python -m repro``).
+
+Subcommands:
+
+* ``table1`` .. ``table4`` — reproduce one validation table and print
+  it next to the paper's Real/Sim columns;
+* ``figure4`` — reproduce the streaming-vs-Rpeak comparison;
+* ``validate`` — reproduce everything and print the error summary;
+* ``run`` — run an arbitrary scenario and print the node's energy,
+  loss-taxonomy breakdown and battery-lifetime projection; optional
+  CSV/JSON/VCD exports;
+* ``explain`` — the closed-form analytic derivation for a scenario;
+* ``baseline`` — the model-fidelity ladder (airtime-only vs full);
+* ``interference`` — two adjacent BANs on one channel.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .analysis.closed_form import explain as explain_analytic
+from .analysis.experiments import (
+    TABLE_REPRODUCERS,
+    reproduce_figure4,
+)
+from .analysis.export import network_records, to_csv, to_json
+from .analysis.figures import render_figure4
+from .analysis.lifetime import project_lifetime
+from .analysis.validation import validate_all
+from .analysis.waveforms import WaveformProbe
+from .baselines.naive import fidelity_ladder
+from .core.report import render_loss_breakdown, render_table
+from .hw.battery import CR2477, LIPO_160
+from .net.multi import MultiBanScenario
+from .net.scenario import APPS, MACS, BanScenario, BanScenarioConfig, \
+    run_scenario
+
+#: Named batteries selectable from the command line.
+BATTERIES = {"cr2477": CR2477, "lipo160": LIPO_160}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--measure-s", type=float, default=60.0,
+                        help="measurement window in seconds (default 60)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="master random seed (default 0)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ban",
+        description="OS-based BAN sensor-node energy estimation "
+                    "(reproduction of Rincon et al., DATE 2008)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for table_id in sorted(TABLE_REPRODUCERS):
+        table_parser = sub.add_parser(
+            table_id, help=f"reproduce the paper's {table_id}")
+        _add_common(table_parser)
+
+    figure_parser = sub.add_parser(
+        "figure4", help="reproduce Figure 4 (streaming vs Rpeak)")
+    _add_common(figure_parser)
+
+    validate_parser = sub.add_parser(
+        "validate", help="reproduce all tables and summarise errors")
+    _add_common(validate_parser)
+
+    def add_scenario_flags(target: argparse.ArgumentParser) -> None:
+        target.add_argument("--mac", choices=MACS, default="static")
+        target.add_argument("--app", choices=APPS,
+                            default="ecg_streaming")
+        target.add_argument("--nodes", type=int, default=5)
+        target.add_argument("--cycle-ms", type=float, default=30.0,
+                            help="static TDMA cycle length")
+        target.add_argument("--slot-ms", type=float, default=10.0,
+                            help="dynamic TDMA slot length")
+        target.add_argument("--sampling-hz", type=float, default=None,
+                            help="per-channel sampling rate "
+                                 "(default: derived)")
+        target.add_argument("--heart-rate", type=float, default=75.0)
+
+    run_parser = sub.add_parser("run", help="run a custom BAN scenario")
+    _add_common(run_parser)
+    add_scenario_flags(run_parser)
+    run_parser.add_argument("--join", action="store_true",
+                            help="exercise the over-the-air join protocol")
+    run_parser.add_argument("--battery", choices=sorted(BATTERIES),
+                            default="cr2477")
+    run_parser.add_argument("--losses", action="store_true",
+                            help="print the loss-taxonomy breakdown")
+    run_parser.add_argument("--csv", metavar="PATH", default=None,
+                            help="export per-node records as CSV")
+    run_parser.add_argument("--json", metavar="PATH", default=None,
+                            help="export per-node records as JSON")
+    run_parser.add_argument("--vcd", metavar="PATH", default=None,
+                            help="dump power-state waveforms as VCD")
+
+    explain_parser = sub.add_parser(
+        "explain", help="closed-form analytic energy derivation")
+    _add_common(explain_parser)
+    add_scenario_flags(explain_parser)
+
+    baseline_parser = sub.add_parser(
+        "baseline", help="model-fidelity ladder for a scenario")
+    _add_common(baseline_parser)
+    add_scenario_flags(baseline_parser)
+
+    interference_parser = sub.add_parser(
+        "interference", help="two adjacent BANs on one channel")
+    _add_common(interference_parser)
+    interference_parser.add_argument(
+        "--stagger-ms", type=float, default=7.5,
+        help="offset between the BANs' beacon grids; 7.5 ms aligns "
+             "ban2's slots onto ban1's for a worst-case demo")
+
+    report_parser = sub.add_parser(
+        "report", help="full reproduction report (tables + figure + "
+                       "validation) to stdout or a file")
+    _add_common(report_parser)
+    report_parser.add_argument("--out", metavar="PATH", default=None,
+                               help="write the report to a file")
+
+    sensitivity_parser = sub.add_parser(
+        "sensitivity", help="calibration tornado analysis")
+    _add_common(sensitivity_parser)
+    add_scenario_flags(sensitivity_parser)
+    sensitivity_parser.add_argument(
+        "--relative", type=float, default=0.10,
+        help="perturbation applied to each parameter (default ±10%%)")
+    sensitivity_parser.add_argument(
+        "--quantity", choices=("total", "radio", "mcu"),
+        default="total")
+    return parser
+
+
+def _cmd_table(table_id: str, args: argparse.Namespace) -> int:
+    result = TABLE_REPRODUCERS[table_id](measure_s=args.measure_s,
+                                         seed=args.seed)
+    print(result.render())
+    return 0
+
+
+def _cmd_figure4(args: argparse.Namespace) -> int:
+    result = reproduce_figure4(measure_s=args.measure_s, seed=args.seed)
+    print(render_figure4(result))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    results = {
+        table_id: reproduce(measure_s=args.measure_s, seed=args.seed)
+        for table_id, reproduce in TABLE_REPRODUCERS.items()
+    }
+    for table_id in sorted(results):
+        print(results[table_id].render())
+        print()
+    print(validate_all(results).render())
+    return 0
+
+
+def _scenario_config(args: argparse.Namespace,
+                     **extra) -> BanScenarioConfig:
+    return BanScenarioConfig(
+        mac=args.mac, app=args.app, num_nodes=args.nodes,
+        cycle_ms=args.cycle_ms, slot_ms=args.slot_ms,
+        sampling_hz=args.sampling_hz, heart_rate_bpm=args.heart_rate,
+        measure_s=args.measure_s, seed=args.seed, **extra)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = BanScenario(_scenario_config(args,
+                                            join_protocol=args.join))
+    probe = (WaveformProbe.attach_to_scenario(scenario)
+             if args.vcd else None)
+    result = scenario.run()
+    headers = ["node", "radio (mJ)", "uC (mJ)", "ASIC (mJ)",
+               "total (mJ)", "avg power (mW)"]
+    rows = []
+    for node_id in sorted(result.nodes):
+        node = result.nodes[node_id]
+        rows.append((node_id, node.radio_mj, node.mcu_mj, node.asic_mj,
+                     node.total_with_asic_mj,
+                     node.total_with_asic_mj / node.horizon_s))
+    print(render_table(
+        headers, rows,
+        title=f"{args.app} over {args.mac} MAC, {args.nodes} nodes, "
+              f"{args.measure_s:.0f} s"))
+    battery = BATTERIES[args.battery]
+    print()
+    for node_id in sorted(result.nodes):
+        projection = project_lifetime(result.nodes[node_id], battery)
+        print(projection.render())
+    if args.losses:
+        print()
+        for node_id in sorted(result.nodes):
+            print(render_loss_breakdown(result.nodes[node_id]))
+            print()
+    records = network_records(result)
+    if args.csv:
+        with open(args.csv, "w") as handle:
+            handle.write(to_csv(records))
+        print(f"wrote {args.csv}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            handle.write(to_json(records))
+        print(f"wrote {args.json}")
+    if probe is not None:
+        probe.write_vcd(args.vcd)
+        print(f"wrote {args.vcd} ({len(probe.signals)} signals)")
+    return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    print(explain_analytic(_scenario_config(args)))
+    return 0
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    config = _scenario_config(args)
+    rows = [(estimate.fidelity.value, estimate.radio_mj,
+             estimate.mcu_mj, estimate.total_mj)
+            for estimate in fidelity_ladder(config)]
+    print(render_table(
+        ["fidelity", "radio (mJ)", "uC (mJ)", "total (mJ)"], rows,
+        title=f"Model-fidelity ladder: {args.app} over {args.mac} MAC, "
+              f"{args.measure_s:.0f} s"))
+    print("\nL2 (guard windows) is the paper's model; the gap to L0 is "
+          "the energy a duty-cycle estimate misses.")
+    return 0
+
+
+def _cmd_interference(args: argparse.Namespace) -> int:
+    configs = [
+        BanScenarioConfig(mac="static", app="ecg_streaming", num_nodes=3,
+                          cycle_ms=30.0, sampling_hz=205.0,
+                          measure_s=args.measure_s, seed=args.seed),
+        BanScenarioConfig(mac="static", app="ecg_streaming", num_nodes=3,
+                          cycle_ms=40.0, sampling_hz=150.0,
+                          measure_s=args.measure_s, seed=args.seed),
+    ]
+    multi = MultiBanScenario(configs, stagger_ms=args.stagger_ms,
+                             seed=args.seed)
+    results = multi.run()
+    print(multi.interference_summary(results))
+    print()
+    rows = []
+    for ban_name in sorted(results):
+        for node_id in sorted(results[ban_name].nodes):
+            node = results[ban_name].nodes[node_id]
+            rows.append((node_id, node.radio_mj, node.mcu_mj,
+                         node.traffic.overheard, node.traffic.corrupted))
+    print(render_table(
+        ["node", "radio (mJ)", "uC (mJ)", "overheard", "corrupted"],
+        rows, title="Per-node figures under co-channel interference"))
+    return 0
+
+
+def _cmd_sensitivity(args: argparse.Namespace) -> int:
+    from .analysis.sensitivity import render_tornado, tornado
+    entries = tornado(_scenario_config(args), relative=args.relative,
+                      quantity=args.quantity)
+    print(f"Sensitivity of {args.quantity} energy "
+          f"({args.app} over {args.mac} MAC, {args.measure_s:.0f} s) "
+          f"to +/-{100 * args.relative:.0f}% parameter perturbations:\n")
+    print(render_tornado(entries))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.summary import full_report
+    text = full_report(measure_s=args.measure_s, seed=args.seed)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text + "\n")
+        print(f"wrote {args.out}")
+    else:
+        print(text)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command in TABLE_REPRODUCERS:
+        return _cmd_table(args.command, args)
+    if args.command == "figure4":
+        return _cmd_figure4(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
+    if args.command == "baseline":
+        return _cmd_baseline(args)
+    if args.command == "interference":
+        return _cmd_interference(args)
+    if args.command == "sensitivity":
+        return _cmd_sensitivity(args)
+    if args.command == "report":
+        return _cmd_report(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,61 @@
+"""Energy estimation model — the paper's primary contribution.
+
+* :mod:`repro.core.states` / :mod:`repro.core.ledger` — the time-in-state
+  accounting machinery (E = I * Vdd * t per power state),
+* :mod:`repro.core.calibration` — every published and fitted constant,
+  with derivations,
+* :mod:`repro.core.losses` — the Section 4.2 loss taxonomy (collisions,
+  idle listening, overhearing, control overhead) as a first-class output,
+* :mod:`repro.core.report` — result dataclasses and paper-style tables.
+"""
+
+from .calibration import (
+    DEFAULT_CALIBRATION,
+    MCU_COSTS,
+    RADIO_TIMING,
+    SUPPLY_V,
+    SYNC_CALIBRATION,
+    McuCosts,
+    ModelCalibration,
+    RadioTiming,
+    SyncCalibration,
+)
+from .ledger import PowerStateLedger
+from .losses import (
+    WASTE_CATEGORIES,
+    LossAccountant,
+    LossBreakdown,
+    RadioEnergyCategory,
+)
+from .report import (
+    NetworkEnergyResult,
+    NodeEnergyResult,
+    TrafficCounters,
+    render_loss_breakdown,
+    render_table,
+)
+from .states import PowerState, PowerStateTable
+
+__all__ = [
+    "DEFAULT_CALIBRATION",
+    "MCU_COSTS",
+    "RADIO_TIMING",
+    "SUPPLY_V",
+    "SYNC_CALIBRATION",
+    "McuCosts",
+    "ModelCalibration",
+    "RadioTiming",
+    "SyncCalibration",
+    "PowerStateLedger",
+    "WASTE_CATEGORIES",
+    "LossAccountant",
+    "LossBreakdown",
+    "RadioEnergyCategory",
+    "NetworkEnergyResult",
+    "NodeEnergyResult",
+    "TrafficCounters",
+    "render_loss_breakdown",
+    "render_table",
+    "PowerState",
+    "PowerStateTable",
+]

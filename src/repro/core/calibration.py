@@ -1,0 +1,309 @@
+"""Calibrated model parameters.
+
+Every number the energy model depends on lives here, together with where
+it comes from.  There are two kinds of constants:
+
+**Published values** (Sections 3-4 of the paper):
+
+===========================  =========================================
+MCU supply                   2.8 V
+MCU active current           2.0 mA
+MCU power-saving current     0.66 mA
+MCU wake-up latency          6 us
+Radio supply                 2.8 V
+Radio RX current             24.82 mA
+Radio TX current             17.54 mA
+Radio standby current        neglected (< 100 uA, below the paper's
+                             measurement resolution)
+ASIC power                   10.5 mW constant at 3.0 V
+MSP430 energy/instruction    0.6 nJ (datasheet figure quoted in paper)
+===========================  =========================================
+
+**Fitted values**, reverse-engineered from the paper's *Sim* columns
+(Tables 1-4).  The paper does not publish its internal timing parameters,
+so we recover them by least squares on the published rows:
+
+* Static TDMA radio energy per cycle is constant: ~0.2515 mJ for the
+  streaming application and ~0.2277 mJ for Rpeak.  Their difference is
+  the per-cycle TX event (streaming transmits every cycle, Rpeak almost
+  never), giving a TX event of ~485 us: 195 us PLL settle (nRF2401
+  datasheet), 208 us airtime for a 26-byte ShockBurst frame at 1 Mbit/s
+  and an ~82 us shutdown tail.  The remaining ~0.228 mJ/cycle at the RX
+  current corresponds to a ~3.28 ms beacon-listen window, realised as a
+  3104 us wake-up lead + 144 us beacon airtime + 32 us turn-off tail.
+* Dynamic TDMA radio energy per cycle *grows* with the cycle length,
+  i.e. the implementation re-arms its guard proportionally to the
+  beacon period (crystal-drift guard):
+  window ~= 2.2 ms + 0.017 * cycle.
+* MCU active time fits a per-cycle + per-sample decomposition exactly
+  (residuals < 1% on Tables 1 and 3):
+  streaming: 6.43 ms/cycle + 22 us/sample;
+  Rpeak: 2.24 ms/cycle + 196.7 us/sample.
+  We decompose the per-cycle term into beacon processing (2.24 ms,
+  common to both applications) plus packet preparation / FIFO load
+  (4.19 ms, paid per transmitted packet), and the Rpeak per-sample term
+  into sample acquisition (22 us, common) plus the beat-detection
+  algorithm (174.7 us).  All MCU costs are expressed in core clock
+  cycles at 8 MHz ("we had to run the microcontroller at the maximum
+  speed", Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ---------------------------------------------------------------------------
+# Published electrical constants
+# ---------------------------------------------------------------------------
+
+#: Supply voltage of MCU and radio during the paper's measurements [V].
+SUPPLY_V = 2.8
+
+#: MSP430F149 active-mode current at 2.8 V [A] (Section 4.1).
+MCU_ACTIVE_A = 2.0e-3
+
+#: MSP430F149 power-saving-mode (LPM0) current at 2.8 V [A] (Section 4.1).
+MCU_SLEEP_A = 0.66e-3
+
+#: Deeper low-power modes [A].  The paper's applications "only used the
+#: first low power mode", so only LPM0 above is *measured*; these are
+#: extension estimates for the what-if study (datasheet core currents
+#: plus the same board floor the LPM0 measurement implies), used by the
+#: deep-sleep ablation, never by the validated reproduction.
+MCU_LPM_LADDER_A = {
+    "lpm0": MCU_SLEEP_A,
+    "lpm1": 0.50e-3,
+    "lpm2": 0.25e-3,
+    "lpm3": 0.10e-3,
+    "lpm4": 0.05e-3,
+}
+
+#: MSP430 wake-up latency from stand-by to active [s] (Section 3.1).
+MCU_WAKEUP_S = 6e-6
+
+#: MSP430 core clock used in the case studies [Hz] (max speed, Section 5.1).
+MCU_CLOCK_HZ = 8_000_000
+
+#: nRF2401 receive current at 2.8 V [A] (Section 4.2).
+RADIO_RX_A = 24.82e-3
+
+#: nRF2401 transmit current at 2.8 V [A] (Section 4.2).
+RADIO_TX_A = 17.54e-3
+
+#: nRF2401 stand-by current [A]; the paper neglects it (< 100 uA was
+#: below the measurement resolution).  Modelled as zero by default; the
+#: datasheet value (~12 uA) is available for sensitivity studies.
+RADIO_STANDBY_A = 0.0
+
+#: nRF2401 stand-by current from the datasheet [A], for ablations.
+RADIO_STANDBY_DATASHEET_A = 12e-6
+
+#: nRF2401 power-down current [A] (sub-uA; modelled as zero).
+RADIO_POWER_DOWN_A = 0.0
+
+#: 25-channel biopotential ASIC: constant power [W] at its own 3.0 V
+#: supply (Section 5).  The paper excludes it from the validation tables.
+ASIC_POWER_W = 10.5e-3
+
+#: ASIC supply voltage [V].
+ASIC_SUPPLY_V = 3.0
+
+
+# ---------------------------------------------------------------------------
+# Radio frame timing (nRF2401 ShockBurst)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class RadioTiming:
+    """Timing parameters of the nRF2401 ShockBurst air interface.
+
+    The frame layout (preamble + address + payload + CRC) follows the
+    nRF2401 datasheet; the settle/tail overheads are fitted so a TX event
+    with the 18-byte case-study payload costs the 23.8 uJ implied by the
+    difference between the paper's streaming and Rpeak tables.
+    """
+
+    bitrate_bps: float = 1_000_000.0
+    preamble_bytes: int = 1
+    address_bytes: int = 5
+    crc_bytes: int = 2
+    #: PLL settle time before a burst, at TX current [s] (datasheet ~195 us).
+    tx_settle_s: float = 195e-6
+    #: Shutdown tail after a burst, at TX current [s] (fitted).
+    tx_tail_s: float = 82e-6
+    #: RX chain turn-off tail after a frame [s] (fitted).
+    rx_tail_s: float = 32e-6
+
+    def frame_bytes(self, payload_bytes: int) -> int:
+        """Total over-the-air frame size for ``payload_bytes`` of payload."""
+        if payload_bytes < 0:
+            raise ValueError(f"negative payload: {payload_bytes}")
+        return (self.preamble_bytes + self.address_bytes
+                + payload_bytes + self.crc_bytes)
+
+    def airtime_s(self, payload_bytes: int) -> float:
+        """Frame airtime in seconds."""
+        return 8 * self.frame_bytes(payload_bytes) / self.bitrate_bps
+
+    def tx_event_s(self, payload_bytes: int) -> float:
+        """Total radio-on time for one transmission (settle+air+tail)."""
+        return self.tx_settle_s + self.airtime_s(payload_bytes) \
+            + self.tx_tail_s
+
+
+#: Default ShockBurst timing used throughout the reproduction.
+RADIO_TIMING = RadioTiming()
+
+
+# ---------------------------------------------------------------------------
+# MAC synchronisation calibration
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SyncCalibration:
+    """Beacon-listen guard parameters.
+
+    A sensor node wakes its radio ``lead`` seconds before the expected
+    beacon start and listens until the beacon has been received.  The
+    realised RX window is then ``lead + beacon airtime + rx tail``.
+
+    * Static TDMA uses a **fixed** lead (the paper's static tables show a
+      cycle-independent window).
+    * Dynamic TDMA re-arms its guard proportionally to the cycle length
+      (the dynamic tables show the window growing with the cycle), which
+      is what a worst-case crystal-drift guard looks like when the sync
+      interval equals the TDMA cycle.
+    """
+
+    #: Fixed wake-up lead before the expected beacon, static TDMA [s].
+    #: Chosen so lead + beacon airtime (9-byte payload => 136 us) +
+    #: RX tail (32 us) equals the fitted ~3.28 ms window.
+    static_lead_s: float = 3112e-6
+    #: Base wake-up lead, dynamic TDMA [s] (window base ~2.2 ms minus
+    #: the mid-size beacon airtime and RX tail).
+    dynamic_base_lead_s: float = 2048e-6
+    #: Cycle-proportional guard component, dynamic TDMA [s per s of cycle].
+    dynamic_drift_coeff: float = 0.017
+
+    def static_lead_ticks(self) -> int:
+        """Static lead in simulation ticks."""
+        from ..sim.simtime import seconds
+        return seconds(self.static_lead_s)
+
+    def dynamic_lead_ticks(self, cycle_ticks: int) -> int:
+        """Dynamic lead in ticks for a TDMA cycle of ``cycle_ticks``."""
+        from ..sim.simtime import seconds
+        return seconds(self.dynamic_base_lead_s) \
+            + round(self.dynamic_drift_coeff * cycle_ticks)
+
+
+#: Default synchronisation calibration.
+SYNC_CALIBRATION = SyncCalibration()
+
+
+# ---------------------------------------------------------------------------
+# MCU activity costs (clock cycles at MCU_CLOCK_HZ)
+# ---------------------------------------------------------------------------
+
+def _us_to_cycles(us: float) -> int:
+    """Convert microseconds of fitted active time to core clock cycles."""
+    return round(us * MCU_CLOCK_HZ / 1e6)
+
+
+@dataclass(frozen=True)
+class McuCosts:
+    """Per-activity MCU costs, in core clock cycles.
+
+    The values decompose the fitted per-cycle / per-sample active times
+    (module docstring) into TinyOS-level activities.  At 8 MHz one cycle
+    is 125 ns; the paper's 0.6 nJ/instruction figure corresponds to the
+    active current (2 mA * 2.8 V / 8 MHz = 0.7 nJ per cycle), consistent
+    with multi-cycle instructions.
+    """
+
+    #: Handling one received beacon: sync bookkeeping, schedule update,
+    #: slot timer re-arm (fitted 2.24 ms => 17920 cycles).
+    beacon_processing: int = _us_to_cycles(2240.0)
+    #: Preparing and loading one data packet into the radio FIFO over SPI
+    #: (fitted 4.19 ms => 33520 cycles, paid per transmitted packet).
+    packet_preparation: int = _us_to_cycles(4190.0)
+    #: Acquiring one ADC sample and packing it to 12 bits
+    #: (fitted 22 us => 176 cycles).
+    sample_acquisition: int = _us_to_cycles(22.0)
+    #: One invocation of the R-peak beat-detection algorithm on one sample
+    #: (fitted 196.7 - 22 = 174.7 us => 1398 cycles).
+    rpeak_algorithm: int = _us_to_cycles(174.7)
+    #: Handling a received data/control packet at the base station or a
+    #: slot-request reply at a node (reuse of the beacon figure's order
+    #: of magnitude; not observable in the published tables).
+    packet_reception: int = _us_to_cycles(500.0)
+
+    def cycles_to_seconds(self, cycles: int) -> float:
+        """Convert a cycle count to seconds at the configured core clock."""
+        return cycles / MCU_CLOCK_HZ
+
+
+#: Default MCU activity costs.
+MCU_COSTS = McuCosts()
+
+
+# ---------------------------------------------------------------------------
+# Full model configuration
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ModelCalibration:
+    """Bundle of every calibrated parameter, for easy overriding.
+
+    All simulator entry points take a ``ModelCalibration``; experiments
+    that probe sensitivity (ablations) build modified copies via
+    ``dataclasses.replace``.
+    """
+
+    supply_v: float = SUPPLY_V
+    mcu_active_a: float = MCU_ACTIVE_A
+    mcu_sleep_a: float = MCU_SLEEP_A
+    #: Deep-mode current used when a deep-sleep policy is installed
+    #: (extension estimate; see MCU_LPM_LADDER_A).
+    mcu_deep_sleep_a: float = MCU_LPM_LADDER_A["lpm3"]
+    mcu_wakeup_s: float = MCU_WAKEUP_S
+    mcu_clock_hz: float = MCU_CLOCK_HZ
+    radio_rx_a: float = RADIO_RX_A
+    radio_tx_a: float = RADIO_TX_A
+    radio_standby_a: float = RADIO_STANDBY_A
+    radio_power_down_a: float = RADIO_POWER_DOWN_A
+    asic_power_w: float = ASIC_POWER_W
+    asic_supply_v: float = ASIC_SUPPLY_V
+    radio_timing: RadioTiming = field(default_factory=RadioTiming)
+    sync: SyncCalibration = field(default_factory=SyncCalibration)
+    mcu_costs: McuCosts = field(default_factory=McuCosts)
+
+
+#: Default calibration reproducing the paper.
+DEFAULT_CALIBRATION = ModelCalibration()
+
+
+__all__ = [
+    "SUPPLY_V",
+    "MCU_ACTIVE_A",
+    "MCU_SLEEP_A",
+    "MCU_LPM_LADDER_A",
+    "MCU_WAKEUP_S",
+    "MCU_CLOCK_HZ",
+    "RADIO_RX_A",
+    "RADIO_TX_A",
+    "RADIO_STANDBY_A",
+    "RADIO_STANDBY_DATASHEET_A",
+    "RADIO_POWER_DOWN_A",
+    "ASIC_POWER_W",
+    "ASIC_SUPPLY_V",
+    "RadioTiming",
+    "RADIO_TIMING",
+    "SyncCalibration",
+    "SYNC_CALIBRATION",
+    "McuCosts",
+    "MCU_COSTS",
+    "ModelCalibration",
+    "DEFAULT_CALIBRATION",
+]

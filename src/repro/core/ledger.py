@@ -1,0 +1,194 @@
+"""Time-in-state energy ledger.
+
+:class:`PowerStateLedger` is the measurement core of the energy model.  A
+component owns one ledger; every power-state transition closes the open
+interval and books its duration under ``(state, tag)``.  Energy follows
+the paper's formula ``E = I * Vdd * t_state`` (Section 4.1).
+
+Tags subdivide a state without changing the electrical model: the radio,
+for example, distinguishes RX time spent idle-listening from RX time spent
+receiving a packet by re-tagging the open interval when a packet starts.
+The per-state totals are always the sum over tags, which the test suite
+checks as an invariant.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Optional, Tuple
+
+from ..sim.kernel import Simulator
+from .states import PowerStateTable
+
+
+class PowerStateLedger:
+    """Books time and energy per (power state, tag) for one component.
+
+    Args:
+        sim: the simulator providing the clock; the ledger registers an
+            end hook so the open interval is closed at the horizon.
+        component: name used in reports (e.g. ``"radio"``).
+        table: the component's power states.
+        supply_v: supply voltage, used for E = I * V * t.
+        initial_state: state the component starts in at t=0.
+    """
+
+    def __init__(self, sim: Simulator, component: str,
+                 table: PowerStateTable, supply_v: float,
+                 initial_state: str) -> None:
+        if supply_v <= 0:
+            raise ValueError(f"supply voltage must be positive: {supply_v}")
+        self._sim = sim
+        self.component = component
+        self.table = table
+        self.supply_v = supply_v
+        self._state = table[initial_state].name
+        self._tag = self._state
+        self._entered = sim.now
+        self._ticks: Dict[Tuple[str, str], int] = defaultdict(int)
+        self._transitions = 0
+        self._closed = False
+        #: Optional observer called as ``(time, state, tag)`` after every
+        #: transition — used by waveform exporters; None costs nothing.
+        self.on_transition = None
+        sim.add_end_hook(self.close)
+
+    # ------------------------------------------------------------------
+    # State machine
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Name of the current power state."""
+        return self._state
+
+    @property
+    def tag(self) -> str:
+        """Tag under which the open interval is being booked."""
+        return self._tag
+
+    @property
+    def transitions(self) -> int:
+        """Number of state/tag transitions performed so far."""
+        return self._transitions
+
+    def transition(self, state: str, tag: Optional[str] = None) -> None:
+        """Move to ``state``, booking the interval spent in the old one.
+
+        ``tag`` defaults to the state name.  Transitioning to the current
+        state with a different tag is the supported way to re-attribute
+        time from the current instant onward.
+        """
+        new_state = self.table[state].name  # validates the name
+        self._book_open_interval()
+        self._state = new_state
+        self._tag = tag if tag is not None else new_state
+        self._entered = self._sim.now
+        self._transitions += 1
+        self._closed = False
+        if self.on_transition is not None:
+            self.on_transition(self._sim.now, self._state, self._tag)
+
+    def retag(self, tag: str) -> None:
+        """Re-tag the open interval from now on, staying in the same state."""
+        self.transition(self._state, tag)
+
+    def close(self) -> None:
+        """Book the open interval up to the current instant.
+
+        Idempotent; called by the simulator's end hook so that queries
+        after a run cover exactly the simulated duration.
+        """
+        self._book_open_interval()
+        self._entered = self._sim.now
+        self._closed = True
+
+    def reset(self) -> None:
+        """Discard all booked intervals and re-open at the current instant.
+
+        Used by scenarios to start the measurement window after warm-up
+        (joins, first-beacon alignment) so the reported energy covers an
+        exact steady-state horizon, as the paper's 60 s measurements do.
+        The current state is preserved.
+        """
+        self._ticks.clear()
+        self._entered = self._sim.now
+        self._transitions = 0
+        self._closed = False
+
+    def _book_open_interval(self) -> None:
+        elapsed = self._sim.now - self._entered
+        if elapsed > 0:
+            self._ticks[(self._state, self._tag)] += elapsed
+
+    # ------------------------------------------------------------------
+    # Queries (all implicitly include the open interval)
+    # ------------------------------------------------------------------
+    def _live_ticks(self) -> Dict[Tuple[str, str], int]:
+        result = dict(self._ticks)
+        open_elapsed = self._sim.now - self._entered
+        if open_elapsed > 0:
+            key = (self._state, self._tag)
+            result[key] = result.get(key, 0) + open_elapsed
+        return result
+
+    def ticks_in(self, state: Optional[str] = None,
+                 tag: Optional[str] = None) -> int:
+        """Total ticks booked, filtered by state and/or tag."""
+        return sum(t for (s, g), t in self._live_ticks().items()
+                   if (state is None or s == state)
+                   and (tag is None or g == tag))
+
+    def seconds_in(self, state: Optional[str] = None,
+                   tag: Optional[str] = None) -> float:
+        """Total seconds booked, filtered by state and/or tag."""
+        from ..sim.simtime import to_seconds
+        return to_seconds(self.ticks_in(state, tag))
+
+    def charge_c(self, state: Optional[str] = None,
+                 tag: Optional[str] = None) -> float:
+        """Total charge drawn in coulombs (I * t), filtered."""
+        from ..sim.simtime import to_seconds
+        total = 0.0
+        for (s, g), ticks in self._live_ticks().items():
+            if (state is None or s == state) and (tag is None or g == tag):
+                total += self.table[s].current_a * to_seconds(ticks)
+        return total
+
+    def energy_j(self, state: Optional[str] = None,
+                 tag: Optional[str] = None) -> float:
+        """Total energy in joules (E = I * Vdd * t), filtered."""
+        return self.charge_c(state, tag) * self.supply_v
+
+    def energy_mj(self, state: Optional[str] = None,
+                  tag: Optional[str] = None) -> float:
+        """Total energy in millijoules (the unit the paper reports)."""
+        return self.energy_j(state, tag) * 1e3
+
+    def energy_by_state(self) -> Dict[str, float]:
+        """Energy in joules per state name."""
+        out: Dict[str, float] = defaultdict(float)
+        from ..sim.simtime import to_seconds
+        for (s, _), ticks in self._live_ticks().items():
+            out[s] += self.table[s].current_a * self.supply_v \
+                * to_seconds(ticks)
+        return dict(out)
+
+    def energy_by_tag(self) -> Dict[str, float]:
+        """Energy in joules per tag."""
+        out: Dict[str, float] = defaultdict(float)
+        from ..sim.simtime import to_seconds
+        for (s, g), ticks in self._live_ticks().items():
+            out[g] += self.table[s].current_a * self.supply_v \
+                * to_seconds(ticks)
+        return dict(out)
+
+    def average_power_w(self, horizon_ticks: Optional[int] = None) -> float:
+        """Average power over ``horizon_ticks`` (defaults to sim.now)."""
+        from ..sim.simtime import to_seconds
+        horizon = self._sim.now if horizon_ticks is None else horizon_ticks
+        if horizon <= 0:
+            return 0.0
+        return self.energy_j() / to_seconds(horizon)
+
+
+__all__ = ["PowerStateLedger"]

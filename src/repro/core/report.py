@@ -1,0 +1,166 @@
+"""Result types and report rendering.
+
+The simulator's outputs mirror what the paper reports: per-node energy of
+the radio and the microcontroller over the simulated horizon (in mJ), the
+loss-taxonomy breakdown, and traffic counters.  These are immutable
+dataclasses so experiments can store, compare and serialise them freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .losses import LossBreakdown, RadioEnergyCategory
+
+
+@dataclass(frozen=True)
+class TrafficCounters:
+    """Per-node frame counters over the simulated horizon."""
+
+    data_tx: int = 0
+    data_rx: int = 0
+    control_tx: int = 0
+    control_rx: int = 0
+    overheard: int = 0
+    corrupted: int = 0
+
+    @property
+    def total_tx(self) -> int:
+        """Frames transmitted (data + control)."""
+        return self.data_tx + self.control_tx
+
+    @property
+    def total_rx(self) -> int:
+        """Frames that occupied this node's receiver, any outcome."""
+        return self.data_rx + self.control_rx + self.overheard \
+            + self.corrupted
+
+
+@dataclass(frozen=True)
+class NodeEnergyResult:
+    """Energy figures for one node, in the paper's units (mJ).
+
+    The paper's validation tables exclude the constant-power ASIC, so
+    :attr:`total_mj` is radio + MCU; :attr:`total_with_asic_mj` adds it
+    back for whole-node budgeting.
+    """
+
+    node_id: str
+    horizon_s: float
+    radio_mj: float
+    mcu_mj: float
+    asic_mj: float
+    radio_by_state_mj: Dict[str, float]
+    mcu_by_state_mj: Dict[str, float]
+    losses: Optional[LossBreakdown] = None
+    traffic: TrafficCounters = field(default_factory=TrafficCounters)
+
+    @property
+    def total_mj(self) -> float:
+        """Radio + MCU energy (what the paper's tables report)."""
+        return self.radio_mj + self.mcu_mj
+
+    @property
+    def total_with_asic_mj(self) -> float:
+        """Radio + MCU + sensing ASIC energy."""
+        return self.total_mj + self.asic_mj
+
+    @property
+    def average_power_mw(self) -> float:
+        """Average radio+MCU power over the horizon, in mW."""
+        if self.horizon_s <= 0:
+            return 0.0
+        return self.total_mj / self.horizon_s
+
+    def loss_fraction(self, category: RadioEnergyCategory) -> float:
+        """Share of radio energy attributed to ``category``."""
+        if self.losses is None:
+            return 0.0
+        return self.losses.fraction(category)
+
+
+@dataclass(frozen=True)
+class NetworkEnergyResult:
+    """Results for a whole BAN run."""
+
+    horizon_s: float
+    nodes: Dict[str, NodeEnergyResult]
+    base_station: Optional[NodeEnergyResult] = None
+
+    def node(self, node_id: str) -> NodeEnergyResult:
+        """Result for one node by id."""
+        try:
+            return self.nodes[node_id]
+        except KeyError:
+            raise KeyError(
+                f"unknown node {node_id!r}; known: {sorted(self.nodes)}"
+            ) from None
+
+    @property
+    def network_total_mj(self) -> float:
+        """Sum of radio+MCU energy across sensor nodes (no base station)."""
+        return sum(n.total_mj for n in self.nodes.values())
+
+
+# ---------------------------------------------------------------------------
+# Table rendering
+# ---------------------------------------------------------------------------
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an ASCII table in the style of the paper's result tables.
+
+    Floats are formatted with one decimal (the paper's precision); other
+    values use ``str``.  Columns are right-aligned under their header.
+    """
+    def fmt(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.1f}"
+        return str(value)
+
+    text_rows: List[List[str]] = [[fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * w for w in widths))
+    parts.extend(line(r) for r in text_rows)
+    return "\n".join(parts)
+
+
+def render_loss_breakdown(result: NodeEnergyResult) -> str:
+    """Render the Section 4.2 loss taxonomy for one node."""
+    if result.losses is None:
+        return f"{result.node_id}: no loss attribution recorded"
+    rows = []
+    for category in RadioEnergyCategory:
+        energy = result.losses.energy_j.get(category, 0.0)
+        frames = result.losses.frames.get(category, 0)
+        rows.append((category.value, energy * 1e3,
+                     f"{100 * result.losses.fraction(category):.1f}%",
+                     frames))
+    return render_table(
+        ["category", "energy (mJ)", "share", "frames"], rows,
+        title=f"Radio energy attribution for {result.node_id} "
+              f"over {result.horizon_s:.0f} s")
+
+
+__all__ = [
+    "TrafficCounters",
+    "NodeEnergyResult",
+    "NetworkEnergyResult",
+    "render_table",
+    "render_loss_breakdown",
+]

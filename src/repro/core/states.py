@@ -1,0 +1,72 @@
+"""Power-state definitions.
+
+The paper's energy model is *time-in-state*: each hardware component is,
+at any instant, in exactly one power state with a characteristic current
+draw, and its energy is ``E = I * Vdd * t`` summed over the intervals
+spent in each state (Section 4.1 of the paper).
+
+:class:`PowerState` couples a state name with its current; component
+models declare a :class:`PowerStateTable` of the states they support.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator
+
+
+@dataclass(frozen=True)
+class PowerState:
+    """One power state of a hardware component.
+
+    Attributes:
+        name: identifier unique within the component (e.g. ``"rx"``).
+        current_a: current drawn in this state, in amperes.
+    """
+
+    name: str
+    current_a: float
+
+    def __post_init__(self) -> None:
+        if self.current_a < 0:
+            raise ValueError(
+                f"state {self.name!r}: current must be >= 0, "
+                f"got {self.current_a}")
+
+    def power_w(self, supply_v: float) -> float:
+        """Power drawn in this state at supply voltage ``supply_v``."""
+        return self.current_a * supply_v
+
+
+class PowerStateTable:
+    """The set of power states a component supports, indexed by name."""
+
+    def __init__(self, states: Iterable[PowerState]) -> None:
+        self._states: Dict[str, PowerState] = {}
+        for state in states:
+            if state.name in self._states:
+                raise ValueError(f"duplicate power state {state.name!r}")
+            self._states[state.name] = state
+        if not self._states:
+            raise ValueError("a component needs at least one power state")
+
+    def __getitem__(self, name: str) -> PowerState:
+        try:
+            return self._states[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown power state {name!r}; "
+                f"known: {sorted(self._states)}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._states
+
+    def __iter__(self) -> Iterator[PowerState]:
+        return iter(self._states.values())
+
+    def names(self) -> Iterator[str]:
+        """Iterate over state names."""
+        return iter(self._states.keys())
+
+
+__all__ = ["PowerState", "PowerStateTable"]

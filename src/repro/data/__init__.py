@@ -1,0 +1,33 @@
+"""Reference data: the paper's published tables and figure values."""
+
+from .paper_tables import (
+    ALL_TABLES,
+    FIGURE_4,
+    FIGURE_4_RPEAK_TOTAL_MJ,
+    FIGURE_4_SAVING_FRACTION,
+    FIGURE_4_STREAMING_TOTAL_MJ,
+    PAPER_OVERALL_ERROR,
+    TABLE_1,
+    TABLE_2,
+    TABLE_3,
+    TABLE_4,
+    Figure4Bar,
+    PaperTable,
+    TableRow,
+)
+
+__all__ = [
+    "ALL_TABLES",
+    "FIGURE_4",
+    "FIGURE_4_RPEAK_TOTAL_MJ",
+    "FIGURE_4_SAVING_FRACTION",
+    "FIGURE_4_STREAMING_TOTAL_MJ",
+    "PAPER_OVERALL_ERROR",
+    "TABLE_1",
+    "TABLE_2",
+    "TABLE_3",
+    "TABLE_4",
+    "Figure4Bar",
+    "PaperTable",
+    "TableRow",
+]

@@ -1,0 +1,48 @@
+"""Hardware models of the IMEC BAN sensor node (Section 3.1).
+
+* :mod:`repro.hw.mcu` — TI MSP430F149 two-state power model,
+* :mod:`repro.hw.radio` — Nordic nRF2401 with ShockBurst, hardware CRC
+  and address filtering,
+* :mod:`repro.hw.asic` — 25-channel biopotential front-end,
+* :mod:`repro.hw.adc` — on-chip 12-bit ADC transfer function,
+* :mod:`repro.hw.battery` — lifetime projection,
+* :mod:`repro.hw.frames` — over-the-air frame representation.
+"""
+
+from .adc import Adc12
+from .asic import ECG_CHANNEL, NUM_CHANNELS, BiopotentialAsic
+from .battery import CR2477, LIPO_160, Battery
+from .frames import BROADCAST, Frame, FrameKind
+from .scavenger import (
+    ConstantHarvest,
+    DiurnalSolarHarvest,
+    HarvestingBudget,
+    HarvestSource,
+    MotionHarvest,
+    harvesting_budget,
+)
+from .mcu import Msp430
+from .radio import Nrf2401, RadioError, TxOutcome
+
+__all__ = [
+    "Adc12",
+    "ECG_CHANNEL",
+    "NUM_CHANNELS",
+    "BiopotentialAsic",
+    "CR2477",
+    "LIPO_160",
+    "Battery",
+    "BROADCAST",
+    "Frame",
+    "FrameKind",
+    "ConstantHarvest",
+    "DiurnalSolarHarvest",
+    "HarvestingBudget",
+    "HarvestSource",
+    "MotionHarvest",
+    "harvesting_budget",
+    "Msp430",
+    "Nrf2401",
+    "RadioError",
+    "TxOutcome",
+]

@@ -1,0 +1,100 @@
+"""25-channel biopotential ASIC model.
+
+The IMEC front-end ASIC extracts up to 24 EEG channels plus 1 ECG channel
+(Section 3).  Its power consumption is constant — 10.5 mW at 3.0 V — and
+the paper therefore excludes it from the validation tables; we model it
+anyway so whole-node budgets and battery-lifetime projections are
+possible (:class:`~repro.core.report.NodeEnergyResult` carries it in a
+separate field).
+
+Electrically the ASIC has a single "on" state; functionally it exposes
+analog channel outputs the MCU's ADC samples.  Channels are backed by
+:class:`~repro.signals.sources.SignalSource` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.calibration import ModelCalibration
+from ..core.ledger import PowerStateLedger
+from ..core.states import PowerState, PowerStateTable
+from ..sim.kernel import Simulator
+from ..sim.simtime import to_seconds
+
+#: Total number of analog channels (24 EEG + 1 ECG).
+NUM_CHANNELS = 25
+
+#: Index of the dedicated ECG channel (by convention the last one).
+ECG_CHANNEL = 24
+
+
+class BiopotentialAsic:
+    """Constant-power sensing front-end with pluggable channel sources."""
+
+    def __init__(self, sim: Simulator, calibration: ModelCalibration,
+                 name: str = "asic") -> None:
+        self._sim = sim
+        self._cal = calibration
+        self.name = name
+        current_a = calibration.asic_power_w / calibration.asic_supply_v
+        table = PowerStateTable([
+            PowerState("on", current_a),
+            PowerState("off", 0.0),
+        ])
+        self.ledger = PowerStateLedger(
+            sim, name, table, calibration.asic_supply_v, initial_state="on")
+        self._sources: Dict[int, object] = {}
+        self._reads = 0
+
+    def connect_source(self, channel: int, source) -> None:
+        """Back analog ``channel`` with a signal source.
+
+        ``source`` must provide ``value_at(t_seconds) -> float`` (see
+        :mod:`repro.signals.sources`).
+        """
+        self._check_channel(channel)
+        self._sources[channel] = source
+
+    def read_channel(self, channel: int) -> float:
+        """Instantaneous analog value of ``channel`` (volts).
+
+        Unconnected channels read 0.0 (inputs shorted to reference).
+        """
+        self._check_channel(channel)
+        self._reads += 1
+        source = self._sources.get(channel)
+        if source is None:
+            return 0.0
+        return source.value_at(to_seconds(self._sim.now))
+
+    @property
+    def reads(self) -> int:
+        """Number of channel reads performed (diagnostics)."""
+        return self._reads
+
+    def power_off(self) -> None:
+        """Shut the front-end down (not used in the paper's case studies)."""
+        self.ledger.transition("off")
+
+    def power_on(self) -> None:
+        """Turn the front-end on."""
+        self.ledger.transition("on")
+
+    def energy_mj(self) -> float:
+        """Total ASIC energy so far, in millijoules."""
+        return self.ledger.energy_mj()
+
+    def reset_measurement(self) -> None:
+        """Clear the ledger at the start of a measurement window."""
+        self.ledger.reset()
+        self._reads = 0
+
+    @staticmethod
+    def _check_channel(channel: int) -> None:
+        if not 0 <= channel < NUM_CHANNELS:
+            raise ValueError(
+                f"channel must be in [0, {NUM_CHANNELS}), got {channel}")
+
+
+__all__ = ["BiopotentialAsic", "NUM_CHANNELS", "ECG_CHANNEL"]

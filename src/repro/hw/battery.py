@@ -1,0 +1,73 @@
+"""Battery and lifetime-projection model.
+
+BANs "should work autonomously and avoid maintenance" (Section 1); the
+practical output of an energy model is therefore a battery-lifetime
+projection.  :class:`Battery` converts the simulator's average-power
+figures into runtimes for typical coin/prismatic cells.
+
+The model is deliberately simple — an ideal charge reservoir with a
+usable-capacity derating — matching the abstraction level of the paper's
+energy model (no rate-dependent Peukert effects, no voltage sag).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Battery:
+    """An ideal charge reservoir.
+
+    Attributes:
+        capacity_mah: nominal capacity in milliamp-hours.
+        voltage_v: nominal terminal voltage.
+        usable_fraction: fraction of nominal capacity available before
+            the supply drops below the platform's brown-out threshold.
+    """
+
+    capacity_mah: float
+    voltage_v: float = 2.8
+    usable_fraction: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0:
+            raise ValueError(f"capacity must be positive: {self.capacity_mah}")
+        if self.voltage_v <= 0:
+            raise ValueError(f"voltage must be positive: {self.voltage_v}")
+        if not 0 < self.usable_fraction <= 1:
+            raise ValueError(
+                f"usable_fraction must be in (0, 1]: {self.usable_fraction}")
+
+    @property
+    def usable_energy_j(self) -> float:
+        """Usable energy content in joules."""
+        return (self.capacity_mah * 1e-3 * 3600.0
+                * self.voltage_v * self.usable_fraction)
+
+    def lifetime_hours(self, average_power_w: float) -> float:
+        """Runtime in hours at a constant average power draw."""
+        if average_power_w <= 0:
+            raise ValueError(
+                f"average power must be positive: {average_power_w}")
+        return self.usable_energy_j / average_power_w / 3600.0
+
+    def lifetime_days(self, average_power_w: float) -> float:
+        """Runtime in days at a constant average power draw."""
+        return self.lifetime_hours(average_power_w) / 24.0
+
+    def fraction_used(self, energy_j: float) -> float:
+        """Share of usable capacity consumed by ``energy_j`` joules."""
+        if energy_j < 0:
+            raise ValueError(f"energy must be non-negative: {energy_j}")
+        return energy_j / self.usable_energy_j
+
+
+#: A CR2477 lithium coin cell, a typical wearable-node supply.
+CR2477 = Battery(capacity_mah=1000.0, voltage_v=3.0)
+
+#: A small 160 mAh lithium-polymer cell (patch form factor).
+LIPO_160 = Battery(capacity_mah=160.0, voltage_v=3.7)
+
+
+__all__ = ["Battery", "CR2477", "LIPO_160"]

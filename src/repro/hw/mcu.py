@@ -1,0 +1,153 @@
+"""TI MSP430F149 microcontroller model.
+
+The paper models the MCU with exactly two power states (Section 4.1):
+
+* **active** — 2.0 mA at 2.8 V, while executing code;
+* **power saving** — 0.66 mA at 2.8 V (the first low-power mode; the
+  TinyOS scheduler never needed a deeper one for these applications).
+
+Software costs are expressed in core clock cycles (8 MHz in the case
+studies) and converted to active time; waking from the power-saving mode
+costs the datasheet's 6 us, which we book as active time before the first
+task runs.
+
+The model deliberately does *not* interpret instructions: like the
+paper's, it is a time-in-state model driven by the TinyOS scheduler.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.calibration import ModelCalibration
+from ..core.ledger import PowerStateLedger
+from ..core.states import PowerState, PowerStateTable
+from ..sim.kernel import Simulator
+from ..sim.simtime import TICKS_PER_SECOND, seconds
+from ..sim.trace import TraceRecorder
+
+#: Name of the executing state.
+ACTIVE = "active"
+#: Name of the power-saving state (the paper's "power saving mode",
+#: LPM0 — the only mode the case-study applications ever used).
+SLEEP = "sleep"
+#: Name of the deep power-saving state (LPM3-class; an extension — the
+#: deep-sleep ablation's what-if, never entered unless a policy asks).
+DEEP_SLEEP = "deep_sleep"
+
+
+class Msp430:
+    """Two-state MSP430 power model with cycle-based activity accounting.
+
+    Args:
+        sim: the simulation kernel.
+        calibration: electrical and timing constants.
+        name: instance name used in traces/reports (e.g. ``"node1.mcu"``).
+    """
+
+    def __init__(self, sim: Simulator, calibration: ModelCalibration,
+                 name: str = "mcu",
+                 trace: Optional[TraceRecorder] = None) -> None:
+        self._sim = sim
+        self._cal = calibration
+        self.name = name
+        self._trace = trace
+        table = PowerStateTable([
+            PowerState(ACTIVE, calibration.mcu_active_a),
+            PowerState(SLEEP, calibration.mcu_sleep_a),
+            PowerState(DEEP_SLEEP, calibration.mcu_deep_sleep_a),
+        ])
+        self.ledger = PowerStateLedger(
+            sim, name, table, calibration.supply_v, initial_state=SLEEP)
+        self._cycles_executed = 0
+        self._wakeups = 0
+
+    # ------------------------------------------------------------------
+    # State control (driven by the TinyOS scheduler)
+    # ------------------------------------------------------------------
+    @property
+    def is_sleeping(self) -> bool:
+        """Whether the core is in a power-saving state (any LPM)."""
+        return self.ledger.state in (SLEEP, DEEP_SLEEP)
+
+    @property
+    def cycles_executed(self) -> int:
+        """Total core clock cycles booked as executed."""
+        return self._cycles_executed
+
+    @property
+    def wakeups(self) -> int:
+        """Number of sleep -> active transitions."""
+        return self._wakeups
+
+    def wake(self) -> int:
+        """Bring the core to active mode.
+
+        Returns the wake-up latency in ticks (0 if already active); the
+        caller (scheduler) delays the first task by that amount.  The
+        latency interval is booked as active time, which is how the
+        paper's measurement setup sees it.
+        """
+        if not self.is_sleeping:
+            return 0
+        self._wakeups += 1
+        self.ledger.transition(ACTIVE, tag="wakeup")
+        if self._trace is not None:
+            self._trace.record(self._sim.now, self.name, "wake", "")
+        return seconds(self._cal.mcu_wakeup_s)
+
+    def begin_task(self, label: str = "") -> None:
+        """Mark the start of task execution (re-tags active time)."""
+        if self.is_sleeping:
+            raise RuntimeError(
+                f"{self.name}: task {label!r} started while sleeping; "
+                "the scheduler must wake the core first")
+        self.ledger.retag("task")
+
+    def sleep(self, deep: bool = False) -> None:
+        """Drop to a power-saving mode (task queue drained).
+
+        ``deep=True`` selects the LPM3-class state the deep-sleep
+        policy extension uses; the paper's validated behaviour is the
+        default LPM0.  Re-selecting the depth while already sleeping is
+        honoured (the power manager may deepen an ongoing sleep).
+        """
+        target = DEEP_SLEEP if deep else SLEEP
+        if self.ledger.state == target:
+            return
+        self.ledger.transition(target)
+        if self._trace is not None:
+            self._trace.record(self._sim.now, self.name, target, "")
+
+    # ------------------------------------------------------------------
+    # Cost conversion
+    # ------------------------------------------------------------------
+    def cycles_to_ticks(self, cycles: int) -> int:
+        """Duration of ``cycles`` core clock cycles, in simulation ticks."""
+        if cycles < 0:
+            raise ValueError(f"negative cycle count: {cycles}")
+        return round(cycles * TICKS_PER_SECOND / self._cal.mcu_clock_hz)
+
+    def account_cycles(self, cycles: int) -> None:
+        """Book ``cycles`` into the executed-cycles counter."""
+        self._cycles_executed += cycles
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def active_seconds(self) -> float:
+        """Time spent in the active state so far, in seconds."""
+        return self.ledger.seconds_in(ACTIVE)
+
+    def energy_mj(self) -> float:
+        """Total MCU energy so far, in millijoules."""
+        return self.ledger.energy_mj()
+
+    def reset_measurement(self) -> None:
+        """Clear ledgers/counters at the start of a measurement window."""
+        self.ledger.reset()
+        self._cycles_executed = 0
+        self._wakeups = 0
+
+
+__all__ = ["Msp430", "ACTIVE", "SLEEP", "DEEP_SLEEP"]

@@ -1,0 +1,368 @@
+"""Nordic nRF2401 radio model.
+
+The nRF2401 features the paper relies on (Sections 3.1 and 4.2):
+
+* **ShockBurst**: the MCU clocks the payload into an on-chip FIFO over
+  SPI at a low rate (radio in stand-by, negligible current) and the chip
+  then bursts the frame at the full air rate.  A transmission therefore
+  costs a fixed radio-on event: PLL settle + frame airtime + shutdown
+  tail, all at the TX current.
+* **Hardware CRC**: corrupted frames (collisions, channel errors) are
+  detected and dropped *inside the radio*; the MCU is never woken.
+* **Hardware address filter**: frames addressed to another node are
+  likewise dropped in the radio; the RX energy is still spent
+  (overhearing), but the MCU stays asleep.
+
+Both hardware filters can be disabled for ablation studies
+(:attr:`Nrf2401.crc_enabled`, :attr:`Nrf2401.address_filter_enabled`);
+disabling the CRC reproduces stock TOSSIM's optimistic behaviour where
+collided packets are still "received".
+
+Energy is booked by the power-state ledger (states ``tx`` / ``rx`` /
+``standby`` / ``power_down``); in parallel, every joule of TX/RX-state
+energy is attributed to a :class:`~repro.core.losses.RadioEnergyCategory`
+via the node's :class:`~repro.core.losses.LossAccountant`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, TYPE_CHECKING
+
+from ..core.calibration import ModelCalibration
+from ..core.ledger import PowerStateLedger
+from ..core.losses import LossAccountant, RadioEnergyCategory
+from ..core.states import PowerState, PowerStateTable
+from ..sim.kernel import Simulator
+from ..sim.simtime import seconds, to_seconds
+from ..sim.trace import TraceRecorder
+from .frames import Frame
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..phy.channel import Channel, Transmission
+
+#: Radio power-state names.
+POWER_DOWN = "power_down"
+STANDBY = "standby"
+TX = "tx"
+RX = "rx"
+
+
+@dataclass
+class TxOutcome:
+    """What happened to a transmitted frame.
+
+    ``corrupted_at`` lists the addresses of in-range receivers where the
+    frame arrived corrupted (collision or channel error).  ``delivered_to``
+    lists receivers whose radio accepted it (CRC and address filter
+    passed and the receiver was listening for the whole airtime).
+    """
+
+    frame: Frame
+    corrupted_at: list = field(default_factory=list)
+    delivered_to: list = field(default_factory=list)
+
+    @property
+    def reached_destination(self) -> bool:
+        """True if a unicast frame was accepted by its destination."""
+        return self.frame.dest in self.delivered_to
+
+
+class RadioError(RuntimeError):
+    """Illegal radio operation (e.g. TX while already transmitting)."""
+
+
+class Nrf2401:
+    """State-machine model of the nRF2401 transceiver.
+
+    Args:
+        sim: simulation kernel.
+        calibration: electrical/timing constants.
+        channel: the shared medium this radio is attached to.
+        address: this radio's hardware address (the node id).
+        accountant: loss-taxonomy accountant energy is attributed to.
+        name: instance name for traces.
+    """
+
+    def __init__(self, sim: Simulator, calibration: ModelCalibration,
+                 channel: "Channel", address: str,
+                 accountant: Optional[LossAccountant] = None,
+                 name: str = "radio",
+                 trace: Optional[TraceRecorder] = None) -> None:
+        self._sim = sim
+        self._cal = calibration
+        self._channel = channel
+        self.address = address
+        self.name = name
+        self._trace = trace
+        self.accountant = accountant if accountant is not None \
+            else LossAccountant()
+        table = PowerStateTable([
+            PowerState(POWER_DOWN, calibration.radio_power_down_a),
+            PowerState(STANDBY, calibration.radio_standby_a),
+            PowerState(TX, calibration.radio_tx_a),
+            PowerState(RX, calibration.radio_rx_a),
+        ])
+        self.ledger = PowerStateLedger(
+            sim, name, table, calibration.supply_v,
+            initial_state=POWER_DOWN)
+        #: Called with (frame,) when a frame passes the hardware filters.
+        self.on_frame: Optional[Callable[[Frame], None]] = None
+        #: Hardware CRC check (ablation: False = stock-TOSSIM optimism).
+        self.crc_enabled = True
+        #: Hardware destination-address filter (ablation switch).
+        self.address_filter_enabled = True
+        #: RF channel index (the nRF2401 tunes 2400-2524 MHz in 1 MHz
+        #: steps).  Radios only hear transmissions on their own channel;
+        #: multi-BAN deployments separate networks with it.
+        self.rf_channel = 0
+
+        self._rx_since: Optional[int] = None
+        self._tx_busy = False
+        self._inflight: Dict[int, "Transmission"] = {}
+
+        # Traffic counters (read via snapshot_counters()).
+        self._count_data_tx = 0
+        self._count_data_rx = 0
+        self._count_control_tx = 0
+        self._count_control_rx = 0
+        self._count_overheard = 0
+        self._count_corrupted = 0
+
+        channel.attach(self)
+
+    # ------------------------------------------------------------------
+    # Mode control
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current power-state name."""
+        return self.ledger.state
+
+    @property
+    def is_receiving(self) -> bool:
+        """Whether the receive chain is on."""
+        return self.ledger.state == RX
+
+    def power_up(self) -> None:
+        """POWER_DOWN -> STANDBY (configuration registers retained)."""
+        if self.ledger.state == POWER_DOWN:
+            self.ledger.transition(STANDBY)
+
+    def power_down(self) -> None:
+        """Switch everything off.  Illegal mid-transmission."""
+        if self._tx_busy:
+            raise RadioError(f"{self.name}: power_down during transmission")
+        self._rx_since = None
+        self.ledger.transition(POWER_DOWN)
+
+    # ------------------------------------------------------------------
+    # Receive path
+    # ------------------------------------------------------------------
+    def start_rx(self) -> None:
+        """Turn the receive chain on (stand-by/power-down -> RX)."""
+        if self._tx_busy:
+            raise RadioError(f"{self.name}: start_rx during transmission")
+        if self.ledger.state == RX:
+            if self._rx_since is None:
+                # Re-arm during the turn-off tail: supersede the tail
+                # and keep listening.
+                self.ledger.retag("listen")
+                self._rx_since = self._sim.now
+            return
+        self.ledger.transition(RX, tag="listen")
+        self._rx_since = self._sim.now
+        if self._trace is not None:
+            self._trace.record(self._sim.now, self.name, "rx_on", "")
+
+    def stop_rx(self) -> None:
+        """Turn the receive chain off, spending the turn-off tail.
+
+        The tail (a fitted ~32 us at RX current) models the receive-chain
+        shutdown; it is booked in the RX state and ends in STANDBY.
+        """
+        if self.ledger.state != RX:
+            return
+        self._rx_since = None
+        self.ledger.retag("tail")
+        tail = seconds(self._cal.radio_timing.rx_tail_s)
+        self._sim.after(tail, self._finish_rx_tail, label=f"{self.name}.rxtail")
+
+    def _finish_rx_tail(self) -> None:
+        # A start_rx()/send() issued during the tail supersedes it.
+        if self.ledger.state == RX and self._rx_since is None:
+            self.ledger.transition(STANDBY)
+            if self._trace is not None:
+                self._trace.record(self._sim.now, self.name, "rx_off", "")
+
+    # ------------------------------------------------------------------
+    # Transmit path (ShockBurst)
+    # ------------------------------------------------------------------
+    def airtime_ticks(self, frame: Frame) -> int:
+        """On-air duration of ``frame`` in ticks."""
+        return seconds(self._cal.radio_timing.airtime_s(frame.payload_bytes))
+
+    def tx_event_ticks(self, frame: Frame) -> int:
+        """Total radio-on time of a ShockBurst transmission of ``frame``."""
+        return seconds(self._cal.radio_timing.tx_event_s(frame.payload_bytes))
+
+    def send(self, frame: Frame,
+             on_complete: Optional[Callable[[TxOutcome], None]] = None
+             ) -> None:
+        """Transmit ``frame`` as one ShockBurst event.
+
+        The radio must not be transmitting already; an active receive
+        chain is switched off first (mode switch).  ``on_complete`` is
+        invoked, with the :class:`TxOutcome`, when the radio returns to
+        stand-by.
+        """
+        if self._tx_busy:
+            raise RadioError(f"{self.name}: send while already transmitting")
+        if frame.src != self.address:
+            raise RadioError(
+                f"{self.name}: frame src {frame.src!r} != radio address "
+                f"{self.address!r}")
+        if self.ledger.state == RX:
+            # Mode switch: abandon listening immediately (no RX tail; the
+            # chip retunes the synthesizer, accounted in the TX settle).
+            self._rx_since = None
+        self._tx_busy = True
+        timing = self._cal.radio_timing
+        self.ledger.transition(TX, tag="settle")
+        if self._trace is not None:
+            self._trace.record(self._sim.now, self.name, "tx_start",
+                               frame.describe())
+        settle = seconds(timing.tx_settle_s)
+        self._sim.after(settle, lambda: self._begin_air(frame, on_complete),
+                        label=f"{self.name}.txair")
+
+    def _begin_air(self, frame: Frame,
+                   on_complete: Optional[Callable[[TxOutcome], None]]
+                   ) -> None:
+        self.ledger.retag("air")
+        airtime = self.airtime_ticks(frame)
+        transmission = self._channel.begin_transmission(self, frame, airtime)
+        self._sim.after(airtime,
+                        lambda: self._end_air(transmission, on_complete),
+                        label=f"{self.name}.txtail")
+
+    def _end_air(self, transmission: "Transmission",
+                 on_complete: Optional[Callable[[TxOutcome], None]]) -> None:
+        outcome = self._channel.end_transmission(transmission)
+        self.ledger.retag("tail")
+        tail = seconds(self._cal.radio_timing.tx_tail_s)
+        self._sim.after(tail, lambda: self._finish_tx(outcome, on_complete),
+                        label=f"{self.name}.txdone")
+
+    def _finish_tx(self, outcome: TxOutcome,
+                   on_complete: Optional[Callable[[TxOutcome], None]]
+                   ) -> None:
+        self._tx_busy = False
+        self.ledger.transition(STANDBY)
+        self._book_tx_energy(outcome)
+        if self._trace is not None:
+            self._trace.record(self._sim.now, self.name, "tx_done",
+                               outcome.frame.describe())
+        if on_complete is not None:
+            on_complete(outcome)
+
+    def _book_tx_energy(self, outcome: TxOutcome) -> None:
+        frame = outcome.frame
+        energy = (self._cal.radio_timing.tx_event_s(frame.payload_bytes)
+                  * self._cal.radio_tx_a * self._cal.supply_v)
+        unicast_lost = (not frame.is_broadcast
+                        and frame.dest in outcome.corrupted_at)
+        if unicast_lost:
+            self.accountant.book_collision_tx(energy)
+            return
+        if frame.kind.is_control:
+            self.accountant.book(RadioEnergyCategory.CONTROL_TX, energy)
+            self._count_control_tx += 1
+        else:
+            self.accountant.book(RadioEnergyCategory.DATA_TX, energy)
+            self._count_data_tx += 1
+
+    # ------------------------------------------------------------------
+    # Channel-facing reception interface
+    # ------------------------------------------------------------------
+    def frame_arrival_start(self, transmission: "Transmission") -> None:
+        """Channel notification: a frame's airtime begins at this radio."""
+        self._inflight[transmission.frame.frame_id] = transmission
+
+    def frame_arrival_end(self, transmission: "Transmission",
+                          corrupted: bool) -> None:
+        """Channel notification: a frame's airtime ends at this radio.
+
+        Decides whether the frame was captured and, if so, runs the
+        hardware CRC and address filters and books the RX energy to the
+        appropriate loss category.
+        """
+        self._inflight.pop(transmission.frame.frame_id, None)
+        start = transmission.start_time
+        captured = (self._rx_since is not None and self._rx_since <= start)
+        if not captured:
+            return  # receiver was off (or turned on mid-frame): nothing seen
+        frame = transmission.frame
+        rx_energy = (to_seconds(transmission.airtime)
+                     * self._cal.radio_rx_a * self._cal.supply_v)
+        if corrupted and self.crc_enabled:
+            self.accountant.book(RadioEnergyCategory.COLLISION, rx_energy)
+            self._count_corrupted += 1
+            return
+        if not frame.addressed_to(self.address) \
+                and self.address_filter_enabled:
+            self.accountant.book(RadioEnergyCategory.OVERHEARING, rx_energy)
+            self._count_overheard += 1
+            return
+        # Frame is handed to software (possibly corrupted, if CRC is off;
+        # possibly other-addressed, if the address filter is off).
+        if frame.kind.is_control:
+            self.accountant.book(RadioEnergyCategory.CONTROL_RX, rx_energy)
+            self._count_control_rx += 1
+        else:
+            self.accountant.book(RadioEnergyCategory.DATA_RX, rx_energy)
+            self._count_data_rx += 1
+        transmission.delivered_to.append(self.address)
+        if self.on_frame is not None:
+            self.on_frame(frame)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def finalize_attribution(self) -> None:
+        """Assign un-attributed RX energy to idle listening.
+
+        Call after the simulation horizon (ledgers closed).
+        """
+        self.accountant.finalize(self.ledger.energy_j(state=RX))
+
+    def snapshot_counters(self):
+        """Current traffic counters as a :class:`TrafficCounters`."""
+        from ..core.report import TrafficCounters
+        return TrafficCounters(
+            data_tx=self._count_data_tx,
+            data_rx=self._count_data_rx,
+            control_tx=self._count_control_tx,
+            control_rx=self._count_control_rx,
+            overheard=self._count_overheard,
+            corrupted=self._count_corrupted,
+        )
+
+    def energy_mj(self) -> float:
+        """Total radio energy so far, in millijoules."""
+        return self.ledger.energy_mj()
+
+    def reset_measurement(self) -> None:
+        """Clear ledger, attribution and counters at measurement start."""
+        self.ledger.reset()
+        self.accountant = LossAccountant()
+        self._count_data_tx = 0
+        self._count_data_rx = 0
+        self._count_control_tx = 0
+        self._count_control_rx = 0
+        self._count_overheard = 0
+        self._count_corrupted = 0
+
+
+__all__ = ["Nrf2401", "RadioError", "TxOutcome",
+           "POWER_DOWN", "STANDBY", "TX", "RX"]

@@ -1,0 +1,183 @@
+"""Energy-scavenging (harvesting) source models.
+
+The paper's opening motivation: BANs operate "on very limited
+resources, such as batteries or energy scavengers" (Section 1, citing
+Heliomote-style solar harvesting and the scavenging survey [8]).  A
+harvester changes the design question from *how long until empty* to
+*is the node energy-neutral*: does average harvested power cover
+average consumed power?
+
+These models produce harvest power as a pure function of time (same
+reproducibility contract as signal sources); :class:`HarvestingBudget`
+combines one with a node's measured consumption into the neutrality
+verdict and the sustainable duty-cycle headroom.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..core.report import NodeEnergyResult
+
+
+class HarvestSource:
+    """Interface: instantaneous harvested power at a given time."""
+
+    def power_at(self, t_seconds: float) -> float:
+        """Harvested power in watts at ``t_seconds``."""
+        raise NotImplementedError
+
+    def energy_between(self, t0_s: float, t1_s: float,
+                       resolution_s: float = 1.0) -> float:
+        """Harvested energy over [t0, t1] in joules (midpoint rule)."""
+        if t1_s < t0_s:
+            raise ValueError(f"bad interval [{t0_s}, {t1_s}]")
+        steps = max(1, int(math.ceil((t1_s - t0_s) / resolution_s)))
+        width = (t1_s - t0_s) / steps
+        return sum(self.power_at(t0_s + (k + 0.5) * width) * width
+                   for k in range(steps))
+
+
+@dataclass(frozen=True)
+class ConstantHarvest(HarvestSource):
+    """A steady source (thermoelectric on skin: tens of microwatts to a
+    few milliwatts depending on gradient and area)."""
+
+    power_w: float
+
+    def __post_init__(self) -> None:
+        if self.power_w < 0:
+            raise ValueError(f"power must be >= 0: {self.power_w}")
+
+    def power_at(self, t_seconds: float) -> float:
+        return self.power_w
+
+
+@dataclass(frozen=True)
+class DiurnalSolarHarvest(HarvestSource):
+    """Indoor/outdoor light on a wearable cell, as a day/night cycle.
+
+    Power follows a clipped sinusoid: zero at night, peaking at
+    ``peak_power_w`` at midday.
+
+    Attributes:
+        peak_power_w: harvest at solar noon.
+        day_fraction: fraction of the 24 h period with any light.
+        period_s: cycle length (86400 s; shorter in tests).
+        phase_s: time of sunrise within the cycle.
+    """
+
+    peak_power_w: float
+    day_fraction: float = 0.5
+    period_s: float = 86_400.0
+    phase_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.peak_power_w < 0:
+            raise ValueError(f"peak power must be >= 0: "
+                             f"{self.peak_power_w}")
+        if not 0.0 < self.day_fraction <= 1.0:
+            raise ValueError(
+                f"day_fraction out of (0, 1]: {self.day_fraction}")
+        if self.period_s <= 0:
+            raise ValueError(f"period must be positive: {self.period_s}")
+
+    def power_at(self, t_seconds: float) -> float:
+        day_length = self.day_fraction * self.period_s
+        into_cycle = (t_seconds - self.phase_s) % self.period_s
+        if into_cycle >= day_length:
+            return 0.0
+        return self.peak_power_w * math.sin(
+            math.pi * into_cycle / day_length)
+
+
+@dataclass(frozen=True)
+class MotionHarvest(HarvestSource):
+    """Kinetic harvesting from body motion: a baseline (resting
+    micro-movements) plus bursts while the wearer is active.
+
+    Activity is modelled as a deterministic on/off schedule with period
+    ``activity_period_s`` and duty ``activity_fraction``.
+    """
+
+    active_power_w: float
+    rest_power_w: float = 0.0
+    activity_period_s: float = 3_600.0
+    activity_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.active_power_w < 0 or self.rest_power_w < 0:
+            raise ValueError("powers must be >= 0")
+        if not 0.0 <= self.activity_fraction <= 1.0:
+            raise ValueError(
+                f"activity_fraction out of [0,1]: "
+                f"{self.activity_fraction}")
+
+    def power_at(self, t_seconds: float) -> float:
+        into_cycle = t_seconds % self.activity_period_s
+        if into_cycle < self.activity_fraction * self.activity_period_s:
+            return self.active_power_w
+        return self.rest_power_w
+
+
+@dataclass(frozen=True)
+class HarvestingBudget:
+    """Energy-neutrality verdict for one node on one harvester."""
+
+    node_id: str
+    consumed_mw: float
+    harvested_mw: float
+
+    @property
+    def is_energy_neutral(self) -> bool:
+        """Whether harvest covers consumption on average."""
+        return self.harvested_mw >= self.consumed_mw
+
+    @property
+    def margin_mw(self) -> float:
+        """Surplus (positive) or deficit (negative) in milliwatts."""
+        return self.harvested_mw - self.consumed_mw
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of consumption covered by harvest."""
+        if self.consumed_mw <= 0:
+            return float("inf")
+        return self.harvested_mw / self.consumed_mw
+
+    def render(self) -> str:
+        """One-line verdict."""
+        verdict = "energy-neutral" if self.is_energy_neutral \
+            else "net-negative"
+        return (f"{self.node_id}: consumes {self.consumed_mw:.2f} mW, "
+                f"harvests {self.harvested_mw:.2f} mW "
+                f"({100 * self.coverage:.0f}% coverage, {verdict})")
+
+
+def harvesting_budget(node: NodeEnergyResult, source: HarvestSource,
+                      horizon_s: float = 86_400.0,
+                      include_asic: bool = True) -> HarvestingBudget:
+    """Judge energy neutrality: the node's measured average power vs the
+    harvester's average over ``horizon_s`` (a full day by default)."""
+    if node.horizon_s <= 0:
+        raise ValueError("node result has a non-positive horizon")
+    consumed_mj = node.total_with_asic_mj if include_asic \
+        else node.total_mj
+    consumed_mw = consumed_mj / node.horizon_s
+    resolution = max(1.0, horizon_s / 10_000.0)
+    harvested_mw = source.energy_between(0.0, horizon_s, resolution) \
+        / horizon_s * 1e3
+    return HarvestingBudget(node_id=node.node_id,
+                            consumed_mw=consumed_mw,
+                            harvested_mw=harvested_mw)
+
+
+__all__ = [
+    "HarvestSource",
+    "ConstantHarvest",
+    "DiurnalSolarHarvest",
+    "MotionHarvest",
+    "HarvestingBudget",
+    "harvesting_budget",
+]

@@ -1,0 +1,114 @@
+"""MAC message payloads and their on-air sizes.
+
+The TDMA protocols exchange three control messages (Figures 2 and 3):
+
+* **Beacon** (BS -> broadcast): synchronisation point of every cycle.
+  Carries the cycle length and the slot map, so it also plays the role
+  of the slot grant ("the base station will create a new slot, assign
+  it to the node, and inform all the other nodes of the updated cycle
+  time").  On-air payload: 4 header bytes (cycle length, slot count,
+  sequence) plus 1 byte per schedulable slot.
+* **Slot request / SSR** (node -> BS): 2 bytes (requester id, flags).
+* **Data** (node -> BS): application payload, e.g. the case studies'
+  18-byte packed ECG samples.
+
+Payload *content* travels as Python objects; only the byte sizes affect
+timing and energy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..hw.frames import BROADCAST, Frame, FrameKind
+
+#: Fixed part of the beacon payload (cycle length + count + sequence).
+BEACON_BASE_BYTES = 4
+
+#: On-air payload size of a slot request.
+SLOT_REQUEST_BYTES = 2
+
+
+@dataclass(frozen=True)
+class BeaconPayload:
+    """Content of a beacon frame.
+
+    Attributes:
+        cycle_ticks: current TDMA cycle length.
+        slot_map: slot index -> owner address, for every *assigned* slot.
+        num_slots: number of schedulable data slots this cycle (static:
+            the fixed maximum; dynamic: the current network size).
+        sequence: beacon sequence number (diagnostics / loss detection).
+    """
+
+    cycle_ticks: int
+    slot_map: Dict[int, str]
+    num_slots: int
+    sequence: int
+
+    def owner_of(self, slot: int) -> Optional[str]:
+        """Address owning ``slot``, or None if free."""
+        return self.slot_map.get(slot)
+
+    def slot_of(self, address: str) -> Optional[int]:
+        """Slot owned by ``address``, or None if not assigned."""
+        for slot, owner in self.slot_map.items():
+            if owner == address:
+                return slot
+        return None
+
+    def free_slots(self) -> Tuple[int, ...]:
+        """Unassigned data-slot indices (1-based), ascending."""
+        return tuple(s for s in range(1, self.num_slots + 1)
+                     if s not in self.slot_map)
+
+
+def beacon_payload_bytes(num_slots: int) -> int:
+    """On-air beacon payload size for ``num_slots`` schedulable slots."""
+    if num_slots < 0:
+        raise ValueError(f"num_slots must be >= 0: {num_slots}")
+    return BEACON_BASE_BYTES + num_slots
+
+
+def make_beacon(src: str, payload: BeaconPayload) -> Frame:
+    """Build a broadcast beacon frame."""
+    return Frame(src=src, dest=BROADCAST, kind=FrameKind.BEACON,
+                 payload_bytes=beacon_payload_bytes(payload.num_slots),
+                 payload=payload)
+
+
+@dataclass(frozen=True)
+class SlotRequestPayload:
+    """Content of an SSR: who is asking, and (static) for which slot."""
+
+    requester: str
+    wanted_slot: Optional[int] = None
+
+
+def make_slot_request(src: str, base_station: str,
+                      wanted_slot: Optional[int] = None) -> Frame:
+    """Build a slot-request frame addressed to the base station."""
+    return Frame(src=src, dest=base_station, kind=FrameKind.SLOT_REQUEST,
+                 payload_bytes=SLOT_REQUEST_BYTES,
+                 payload=SlotRequestPayload(requester=src,
+                                            wanted_slot=wanted_slot))
+
+
+def make_data(src: str, base_station: str, payload_bytes: int,
+              content: object) -> Frame:
+    """Build an application data frame addressed to the base station."""
+    return Frame(src=src, dest=base_station, kind=FrameKind.DATA,
+                 payload_bytes=payload_bytes, payload=content)
+
+
+__all__ = [
+    "BEACON_BASE_BYTES",
+    "SLOT_REQUEST_BYTES",
+    "BeaconPayload",
+    "SlotRequestPayload",
+    "beacon_payload_bytes",
+    "make_beacon",
+    "make_slot_request",
+    "make_data",
+]

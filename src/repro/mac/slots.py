@@ -1,0 +1,135 @@
+"""Slot-schedule bookkeeping shared by both TDMA variants.
+
+A :class:`SlotSchedule` maps data-slot indices (1-based; slot 0 is the
+beacon slot) to owner addresses and computes slot timing within the
+cycle.  The two MAC variants differ only in geometry:
+
+* **static**: the cycle is fixed and divided into ``1 + num_slots``
+  equal slots (Figure 2);
+* **dynamic**: every slot has a fixed length and the cycle is
+  ``(1 + assigned) * slot_len``, growing as nodes join (Figure 3).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class SlotSchedule:
+    """Assignment table for data slots 1..num_slots."""
+
+    def __init__(self, num_slots: int) -> None:
+        if num_slots < 1:
+            raise ValueError(f"need at least one slot, got {num_slots}")
+        self._num_slots = num_slots
+        self._owners: Dict[int, str] = {}
+
+    @property
+    def num_slots(self) -> int:
+        """Number of schedulable data slots."""
+        return self._num_slots
+
+    @property
+    def assigned_count(self) -> int:
+        """How many slots currently have owners."""
+        return len(self._owners)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether every slot is taken ("once reached the limit no other
+        nodes are accepted", Section 3.2.2)."""
+        return self.assigned_count >= self._num_slots
+
+    def owner_of(self, slot: int) -> Optional[str]:
+        """Owner of ``slot``, or None."""
+        self._check_slot(slot)
+        return self._owners.get(slot)
+
+    def slot_of(self, address: str) -> Optional[int]:
+        """Slot owned by ``address``, or None."""
+        for slot, owner in self._owners.items():
+            if owner == address:
+                return slot
+        return None
+
+    def free_slots(self) -> List[int]:
+        """Unassigned slot indices, ascending."""
+        return [s for s in range(1, self._num_slots + 1)
+                if s not in self._owners]
+
+    def assign(self, slot: int, address: str) -> None:
+        """Give ``slot`` to ``address``.
+
+        Reassigning a taken slot or double-assigning a node is a protocol
+        bug and raises.
+        """
+        self._check_slot(slot)
+        current = self._owners.get(slot)
+        if current is not None and current != address:
+            raise ValueError(
+                f"slot {slot} already owned by {current!r}")
+        existing = self.slot_of(address)
+        if existing is not None and existing != slot:
+            raise ValueError(
+                f"{address!r} already owns slot {existing}")
+        self._owners[slot] = address
+
+    def release(self, address: str) -> Optional[int]:
+        """Free the slot owned by ``address``; returns it (or None)."""
+        slot = self.slot_of(address)
+        if slot is not None:
+            del self._owners[slot]
+        return slot
+
+    def grow(self) -> int:
+        """Add one schedulable slot (dynamic TDMA); returns its index."""
+        self._num_slots += 1
+        return self._num_slots
+
+    def as_map(self) -> Dict[int, str]:
+        """Copy of the assignment map (for beacon payloads)."""
+        return dict(self._owners)
+
+    def _check_slot(self, slot: int) -> None:
+        if not 1 <= slot <= self._num_slots:
+            raise ValueError(
+                f"slot must be in [1, {self._num_slots}], got {slot}")
+
+
+def static_slot_offset(cycle_ticks: int, num_slots: int, slot: int) -> int:
+    """Start offset of ``slot`` within a static cycle.
+
+    The cycle is divided into ``1 + num_slots`` equal parts; part 0 is
+    the beacon slot.
+    """
+    if not 1 <= slot <= num_slots:
+        raise ValueError(f"slot must be in [1, {num_slots}], got {slot}")
+    return slot * cycle_ticks // (num_slots + 1)
+
+
+def dynamic_slot_offset(slot_ticks: int, slot: int) -> int:
+    """Start offset of ``slot`` within a dynamic cycle (fixed slot size)."""
+    if slot < 1:
+        raise ValueError(f"slot must be >= 1, got {slot}")
+    return slot * slot_ticks
+
+
+def dynamic_cycle_ticks(slot_ticks: int, assigned: int) -> int:
+    """Dynamic-TDMA cycle length with ``assigned`` nodes.
+
+    One leading slot carries the beacon and the empty-slot (ES) request
+    window; each joined node adds one data slot, so with N nodes the
+    cycle is ``(N + 1) * slot_len`` — 20 ms for one node at the paper's
+    10 ms slots, 60 ms for five (Table 2).
+    """
+    if assigned < 0:
+        raise ValueError(f"assigned must be >= 0: {assigned}")
+    return (1 + assigned) * slot_ticks
+
+
+__all__ = [
+    "SlotSchedule",
+    "static_slot_offset",
+    "dynamic_slot_offset",
+    "dynamic_cycle_ticks",
+]

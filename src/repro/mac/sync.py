@@ -1,0 +1,112 @@
+"""Beacon-synchronisation (guard) policies.
+
+A TDMA node must have its receiver on when the beacon arrives; since its
+crystal drifts relative to the base station's, it wakes a *lead* before
+the expected beacon start.  How that lead is chosen dominates the radio
+energy (the beacon-listen window is the single largest radio cost in the
+paper's tables), so it is a first-class, swappable policy:
+
+* :class:`FixedLead` — constant lead; reproduces the paper's **static**
+  TDMA tables, whose per-cycle radio energy is cycle-independent.
+* :class:`CycleProportionalLead` — lead = base + coeff * cycle;
+  reproduces the paper's **dynamic** TDMA tables, whose window grows
+  with the cycle (a worst-case drift guard re-armed every beacon).
+* :class:`DriftTrackingLead` — the physical model: the node knows its
+  own worst-case crystal tolerance (ppm) and guards by exactly
+  2 * ppm * time-since-last-sync plus a fixed margin.  Used by the
+  sync-policy ablation (A1) to ask what the paper's platform *could*
+  save with tighter synchronisation.
+"""
+
+from __future__ import annotations
+
+from ..sim.simtime import microseconds, seconds
+
+
+class SyncPolicy:
+    """Interface: how long before the expected beacon to open the RX window."""
+
+    def lead_ticks(self, cycle_ticks: int, since_sync_ticks: int) -> int:
+        """Wake-up lead in ticks.
+
+        Args:
+            cycle_ticks: the current TDMA cycle length.
+            since_sync_ticks: time since the last successful beacon
+                reception (== cycle_ticks in steady state; grows across
+                missed beacons).
+        """
+        raise NotImplementedError
+
+
+class FixedLead(SyncPolicy):
+    """Constant lead, whatever the cycle length."""
+
+    def __init__(self, lead_ticks: int) -> None:
+        if lead_ticks < 0:
+            raise ValueError(f"lead must be >= 0: {lead_ticks}")
+        self._lead = lead_ticks
+
+    def lead_ticks(self, cycle_ticks: int, since_sync_ticks: int) -> int:
+        return self._lead
+
+
+class CycleProportionalLead(SyncPolicy):
+    """lead = base + coeff * cycle (the paper's dynamic-TDMA behaviour)."""
+
+    def __init__(self, base_ticks: int, coeff: float) -> None:
+        if base_ticks < 0:
+            raise ValueError(f"base must be >= 0: {base_ticks}")
+        if coeff < 0:
+            raise ValueError(f"coeff must be >= 0: {coeff}")
+        self._base = base_ticks
+        self._coeff = coeff
+
+    def lead_ticks(self, cycle_ticks: int, since_sync_ticks: int) -> int:
+        return self._base + round(self._coeff * cycle_ticks)
+
+
+class DriftTrackingLead(SyncPolicy):
+    """Physically motivated guard: margin + 2 * tolerance * elapsed.
+
+    With both the node's and the base station's crystals within
+    ``tolerance_ppm`` of nominal, their clocks diverge at most
+    ``2 * tolerance_ppm * 1e-6`` seconds per second; guarding by that
+    (plus a fixed turn-on margin) is the tightest always-safe window.
+    A typical watch crystal is 20-50 ppm, *far* tighter than the
+    paper's fitted windows — quantifying that gap is ablation A1.
+    """
+
+    def __init__(self, tolerance_ppm: float = 50.0,
+                 margin_ticks: int = microseconds(250)) -> None:
+        if tolerance_ppm < 0:
+            raise ValueError(f"tolerance must be >= 0: {tolerance_ppm}")
+        if margin_ticks < 0:
+            raise ValueError(f"margin must be >= 0: {margin_ticks}")
+        self.tolerance_ppm = tolerance_ppm
+        self._margin = margin_ticks
+
+    def lead_ticks(self, cycle_ticks: int, since_sync_ticks: int) -> int:
+        drift = round(2.0 * self.tolerance_ppm * 1e-6 * since_sync_ticks)
+        return self._margin + drift
+
+
+def paper_static_policy(calibration) -> FixedLead:
+    """The calibrated static-TDMA policy from a ModelCalibration."""
+    return FixedLead(seconds(calibration.sync.static_lead_s))
+
+
+def paper_dynamic_policy(calibration) -> CycleProportionalLead:
+    """The calibrated dynamic-TDMA policy from a ModelCalibration."""
+    return CycleProportionalLead(
+        seconds(calibration.sync.dynamic_base_lead_s),
+        calibration.sync.dynamic_drift_coeff)
+
+
+__all__ = [
+    "SyncPolicy",
+    "FixedLead",
+    "CycleProportionalLead",
+    "DriftTrackingLead",
+    "paper_static_policy",
+    "paper_dynamic_policy",
+]

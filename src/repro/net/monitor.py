@@ -1,0 +1,135 @@
+"""On-line battery monitoring during a simulation.
+
+BANs "operate on very limited resources such as batteries or energy
+scavengers" (Section 1); beyond end-of-run lifetime projections, a
+deployment wants to *watch* the charge drain and react at thresholds
+(reduce duty cycle, raise an alert).  :class:`BatteryMonitor` samples a
+node's cumulative energy on a simulation timer, maintains the battery
+state of charge, and invokes callbacks the first time the SoC crosses
+each configured threshold.
+
+The monitor is observational: it adds no energy of its own (a real
+implementation's fuel-gauge cost would fold into the MCU budget; it is
+negligible at the paper's scale).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..hw.battery import Battery
+from ..sim.simtime import seconds
+from ..tinyos.timers import VirtualTimer
+from .node import SensorNode
+
+#: Callback signature: (node_id, threshold, state_of_charge).
+ThresholdCallback = Callable[[str, float, float], None]
+
+
+class BatteryMonitor:
+    """Tracks one node's battery state of charge over a run.
+
+    Args:
+        node: the monitored sensor node.
+        battery: the cell powering it.
+        include_asic: whether the sensing front-end drains the same cell.
+        sample_period_s: how often to integrate consumption.
+        thresholds: SoC levels (descending or not) at which to fire
+            callbacks once each, e.g. ``(0.5, 0.2, 0.05)``.
+    """
+
+    def __init__(self, node: SensorNode, battery: Battery,
+                 include_asic: bool = True,
+                 sample_period_s: float = 1.0,
+                 thresholds: Tuple[float, ...] = (0.5, 0.2, 0.05)) -> None:
+        if sample_period_s <= 0:
+            raise ValueError(
+                f"sample period must be positive: {sample_period_s}")
+        for threshold in thresholds:
+            if not 0.0 < threshold < 1.0:
+                raise ValueError(f"threshold out of (0,1): {threshold}")
+        self.node = node
+        self.battery = battery
+        self.include_asic = include_asic
+        self._sample_period = seconds(sample_period_s)
+        self._pending = sorted(thresholds, reverse=True)
+        self._fired: List[float] = []
+        self._callbacks: Dict[float, List[ThresholdCallback]] = {}
+        self._history: List[Tuple[int, float]] = []
+        self._timer = VirtualTimer(node.sim, self._sample,
+                                   name=f"{node.node_id}.battmon")
+        self._started = False
+
+    # ------------------------------------------------------------------
+    def on_threshold(self, threshold: float,
+                     callback: ThresholdCallback) -> None:
+        """Register ``callback`` for one configured threshold."""
+        if threshold not in self._pending and threshold not in self._fired:
+            raise ValueError(
+                f"{threshold} is not a configured threshold "
+                f"({self._pending})")
+        self._callbacks.setdefault(threshold, []).append(callback)
+
+    def start(self) -> None:
+        """Begin periodic sampling."""
+        if self._started:
+            raise RuntimeError("monitor already started")
+        self._started = True
+        self._timer.start_periodic(self._sample_period)
+
+    def stop(self) -> None:
+        """Stop sampling."""
+        self._timer.stop()
+
+    # ------------------------------------------------------------------
+    def consumed_j(self) -> float:
+        """Energy drawn from the cell so far, in joules."""
+        energy = self.node.mcu.ledger.energy_j() \
+            + self.node.radio.ledger.energy_j()
+        if self.include_asic:
+            energy += self.node.asic.ledger.energy_j()
+        return energy
+
+    @property
+    def state_of_charge(self) -> float:
+        """Remaining usable fraction (clamped at 0)."""
+        fraction = self.battery.fraction_used(self.consumed_j())
+        return max(0.0, 1.0 - fraction)
+
+    @property
+    def is_depleted(self) -> bool:
+        """Whether the usable capacity is exhausted."""
+        return self.state_of_charge <= 0.0
+
+    @property
+    def history(self) -> List[Tuple[int, float]]:
+        """(time, SoC) samples collected so far."""
+        return list(self._history)
+
+    @property
+    def thresholds_fired(self) -> List[float]:
+        """Thresholds already crossed, in firing order."""
+        return list(self._fired)
+
+    def estimated_remaining_s(self) -> Optional[float]:
+        """Linear time-to-empty estimate from the last two samples."""
+        if len(self._history) < 2:
+            return None
+        (t0, soc0), (t1, soc1) = self._history[-2], self._history[-1]
+        drain = (soc0 - soc1) / ((t1 - t0) / seconds(1.0))
+        if drain <= 0:
+            return None
+        return self._history[-1][1] / drain
+
+    # ------------------------------------------------------------------
+    def _sample(self) -> None:
+        soc = self.state_of_charge
+        self._history.append((self.node.sim.now, soc))
+        while self._pending and soc <= self._pending[0]:
+            threshold = self._pending.pop(0)
+            self._fired.append(threshold)
+            for callback in self._callbacks.get(threshold, []):
+                callback(self.node.node_id, threshold, soc)
+
+
+__all__ = ["BatteryMonitor", "ThresholdCallback"]

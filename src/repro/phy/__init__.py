@@ -1,0 +1,34 @@
+"""Physical layer: broadcast medium, topologies and loss models."""
+
+from .channel import Channel, Transmission
+from .lossmodels import (
+    DistanceLoss,
+    LossModel,
+    PerLinkLoss,
+    PerfectChannel,
+    UniformLoss,
+)
+from .topology import (
+    BODY_PRESET,
+    BodyTopology,
+    ExplicitLinks,
+    FullConnectivity,
+    Position,
+    Topology,
+)
+
+__all__ = [
+    "Channel",
+    "Transmission",
+    "DistanceLoss",
+    "LossModel",
+    "PerLinkLoss",
+    "PerfectChannel",
+    "UniformLoss",
+    "BODY_PRESET",
+    "BodyTopology",
+    "ExplicitLinks",
+    "FullConnectivity",
+    "Position",
+    "Topology",
+]

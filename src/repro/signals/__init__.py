@@ -1,0 +1,29 @@
+"""Biosignal generation: synthetic ECG/EEG and source primitives."""
+
+from .arrhythmia import IrregularEcg
+from .ecg import PQRST, SyntheticEcg, Wave
+from .eeg import DEFAULT_BANDS, Band, SyntheticEeg
+from .sources import (
+    ConstantSource,
+    HashNoiseSource,
+    MixSource,
+    ScaledSource,
+    SignalSource,
+    SineSource,
+)
+
+__all__ = [
+    "IrregularEcg",
+    "PQRST",
+    "SyntheticEcg",
+    "Wave",
+    "DEFAULT_BANDS",
+    "Band",
+    "SyntheticEeg",
+    "ConstantSource",
+    "HashNoiseSource",
+    "MixSource",
+    "ScaledSource",
+    "SignalSource",
+    "SineSource",
+]

@@ -1,0 +1,129 @@
+"""Irregular-rhythm ECG generation for detector stress testing.
+
+The paper's validation uses a metronomic 75 bpm signal; a health-care
+deployment's whole purpose is the *ab*normal cases.  This module
+extends the Gaussian-morphology generator with deterministic rhythm
+disturbances so the Rpeak application can be exercised against them:
+
+* **dropped beats** (sinus pause / AV block): a beat is omitted with a
+  configured probability, leaving a double-length RR interval;
+* **premature beats** (extrasystoles): an extra beat is inserted early,
+  at a configured fraction of the RR interval, followed by a
+  compensatory pause;
+* **RR jitter**: beat-to-beat interval noise (on top of the base
+  class's slow HRV modulation).
+
+All randomness derives from ``(seed, beat index)`` hashes, so the
+signal — and its ground-truth beat list — is a pure, reproducible
+function of the constructor arguments.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from typing import List, Sequence
+
+from .ecg import PQRST, SyntheticEcg, Wave
+
+
+def _unit_hash(seed: int, index: int, salt: int) -> float:
+    """Deterministic U(0,1) draw for beat ``index``."""
+    digest = hashlib.blake2b(struct.pack("<qqq", seed, index, salt),
+                             digest_size=8).digest()
+    return int.from_bytes(digest, "little") / float(1 << 64)
+
+
+class IrregularEcg(SyntheticEcg):
+    """ECG with deterministic dropped/premature beats and RR jitter.
+
+    Args:
+        dropped_beat_prob: probability a scheduled beat is omitted.
+        premature_beat_prob: probability an extra early beat is inserted
+            after a scheduled one.
+        premature_fraction: position of the premature beat within the
+            RR interval (0.4 = at 40% of the normal spacing).
+        rr_jitter_fraction: uniform +/- fractional jitter on each RR
+            interval.
+        seed: derives every disturbance draw.
+    """
+
+    def __init__(self, heart_rate_bpm: float = 75.0,
+                 dropped_beat_prob: float = 0.0,
+                 premature_beat_prob: float = 0.0,
+                 premature_fraction: float = 0.4,
+                 rr_jitter_fraction: float = 0.0,
+                 seed: int = 0,
+                 amplitude_mv: float = 1.0,
+                 first_beat_s: float = 0.35,
+                 morphology: Sequence[Wave] = PQRST) -> None:
+        for name, prob in (("dropped_beat_prob", dropped_beat_prob),
+                           ("premature_beat_prob", premature_beat_prob)):
+            if not 0.0 <= prob < 1.0:
+                raise ValueError(f"{name} out of [0,1): {prob}")
+        if not 0.1 <= premature_fraction <= 0.9:
+            raise ValueError(
+                f"premature_fraction out of [0.1, 0.9]: "
+                f"{premature_fraction}")
+        if not 0.0 <= rr_jitter_fraction < 0.4:
+            raise ValueError(
+                f"rr_jitter_fraction out of [0, 0.4): "
+                f"{rr_jitter_fraction}")
+        super().__init__(heart_rate_bpm=heart_rate_bpm,
+                         amplitude_mv=amplitude_mv,
+                         first_beat_s=first_beat_s,
+                         morphology=morphology)
+        self.dropped_beat_prob = dropped_beat_prob
+        self.premature_beat_prob = premature_beat_prob
+        self.premature_fraction = premature_fraction
+        self.rr_jitter_fraction = rr_jitter_fraction
+        self.seed = seed
+        self._schedule_index = 0
+        self.beats_dropped = 0
+        self.beats_premature = 0
+
+    # ------------------------------------------------------------------
+    def _ensure_beats_until(self, t_seconds: float) -> None:
+        horizon = t_seconds + 2.0 * self._mean_rr_s
+        while self._beats[-1] < horizon:
+            self._append_next_beats()
+
+    def _append_next_beats(self) -> None:
+        index = self._schedule_index
+        self._schedule_index += 1
+        last = self._beats[-1]
+        rr = self._mean_rr_s
+        if self.rr_jitter_fraction > 0.0:
+            jitter = 2.0 * _unit_hash(self.seed, index, 1) - 1.0
+            rr *= 1.0 + self.rr_jitter_fraction * jitter
+        scheduled = last + rr
+
+        if self.dropped_beat_prob > 0.0 \
+                and _unit_hash(self.seed, index, 2) < self.dropped_beat_prob:
+            # The beat is skipped: advance time without emitting it
+            # (a sinus pause of one extra RR).
+            self.beats_dropped += 1
+            self._beats.append(scheduled + rr)
+            return
+
+        if self.premature_beat_prob > 0.0 \
+                and _unit_hash(self.seed, index, 3) \
+                < self.premature_beat_prob:
+            # Extrasystole: early beat, then a compensatory pause so the
+            # following beat lands on the original grid.
+            early = last + self.premature_fraction * rr
+            self.beats_premature += 1
+            self._beats.append(early)
+            self._beats.append(scheduled + rr)
+            return
+
+        self._beats.append(scheduled)
+
+    # ------------------------------------------------------------------
+    def rr_intervals(self, until_s: float) -> List[float]:
+        """Ground-truth RR intervals up to ``until_s``, in seconds."""
+        peaks = self.r_peak_times(until_s)
+        return [b - a for a, b in zip(peaks, peaks[1:])]
+
+
+__all__ = ["IrregularEcg"]

@@ -1,0 +1,121 @@
+"""Signal-source primitives.
+
+A *signal source* is anything with a ``value_at(t_seconds) -> float``
+method returning the instantaneous analog value (volts at the ASIC
+output).  Sources must be **pure functions of time** so that simulation
+results are reproducible and independent of sampling order; stochastic
+sources therefore derive their randomness from a hash of (seed, t)
+instead of mutable generator state.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import struct
+from typing import Protocol, Sequence
+
+
+class SignalSource(Protocol):
+    """Structural type every channel source implements."""
+
+    def value_at(self, t_seconds: float) -> float:
+        """Instantaneous value at absolute time ``t_seconds``."""
+        ...  # pragma: no cover - protocol
+
+
+class ConstantSource:
+    """A DC level (unconnected inputs, calibration signals)."""
+
+    def __init__(self, level: float = 0.0) -> None:
+        self.level = level
+
+    def value_at(self, t_seconds: float) -> float:
+        return self.level
+
+
+class SineSource:
+    """A pure tone: ``amplitude * sin(2*pi*f*t + phase) + offset``."""
+
+    def __init__(self, frequency_hz: float, amplitude: float = 1.0,
+                 phase_rad: float = 0.0, offset: float = 0.0) -> None:
+        if frequency_hz <= 0:
+            raise ValueError(f"frequency must be positive: {frequency_hz}")
+        self.frequency_hz = frequency_hz
+        self.amplitude = amplitude
+        self.phase_rad = phase_rad
+        self.offset = offset
+
+    def value_at(self, t_seconds: float) -> float:
+        return self.offset + self.amplitude * math.sin(
+            2.0 * math.pi * self.frequency_hz * t_seconds + self.phase_rad)
+
+
+class HashNoiseSource:
+    """Deterministic white-ish noise: a pure function of (seed, t).
+
+    The time axis is quantised to ``resolution_s`` and hashed; two reads
+    at the same instant always agree, and the sequence is independent of
+    read order.  Amplitude is uniform in [-amplitude, +amplitude].
+    """
+
+    def __init__(self, amplitude: float, seed: int = 0,
+                 resolution_s: float = 1e-6) -> None:
+        if amplitude < 0:
+            raise ValueError(f"amplitude must be >= 0: {amplitude}")
+        if resolution_s <= 0:
+            raise ValueError(f"resolution must be positive: {resolution_s}")
+        self.amplitude = amplitude
+        self.seed = seed
+        self.resolution_s = resolution_s
+
+    def value_at(self, t_seconds: float) -> float:
+        if self.amplitude == 0.0:
+            return 0.0
+        quantised = round(t_seconds / self.resolution_s)
+        digest = hashlib.blake2b(
+            struct.pack("<qq", self.seed, quantised),
+            digest_size=8).digest()
+        unit = int.from_bytes(digest, "little") / float(1 << 64)
+        return self.amplitude * (2.0 * unit - 1.0)
+
+
+class MixSource:
+    """Weighted sum of sources (e.g. signal + baseline wander + noise)."""
+
+    def __init__(self, sources: Sequence[SignalSource],
+                 weights: Sequence[float] = ()) -> None:
+        if not sources:
+            raise ValueError("MixSource needs at least one source")
+        if weights and len(weights) != len(sources):
+            raise ValueError(
+                f"{len(weights)} weights for {len(sources)} sources")
+        self._sources = list(sources)
+        self._weights = list(weights) if weights else [1.0] * len(sources)
+
+    def value_at(self, t_seconds: float) -> float:
+        return sum(w * s.value_at(t_seconds)
+                   for s, w in zip(self._sources, self._weights))
+
+
+class ScaledSource:
+    """``gain * inner(t) + offset`` — e.g. the ASIC amplifier stage."""
+
+    def __init__(self, inner: SignalSource, gain: float = 1.0,
+                 offset: float = 0.0) -> None:
+        self._inner = inner
+        self.gain = gain
+        self.offset = offset
+
+    def value_at(self, t_seconds: float) -> float:
+        return self.gain * self._inner.value_at(t_seconds) + self.offset
+
+
+__all__ = [
+    "SignalSource",
+    "ConstantSource",
+    "SineSource",
+    "HashNoiseSource",
+    "MixSource",
+    "ScaledSource",
+]

@@ -1,0 +1,104 @@
+"""Event and event-queue primitives for the discrete-event kernel.
+
+The queue is a binary heap keyed on ``(time, sequence)``.  The per-queue
+monotonically increasing sequence number gives FIFO semantics among events
+scheduled for the same instant, which is what makes the whole simulation
+reproducible: the TinyOS task model (post order == run order) depends on
+stable same-time ordering.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+
+@dataclass(order=False)
+class Event:
+    """A scheduled callback.
+
+    Attributes:
+        time: absolute simulation time (ticks) at which to fire.
+        seq: tie-breaking sequence number, assigned by the queue.
+        callback: zero-argument callable invoked when the event fires.
+        label: human-readable description, used by tracing and error
+            messages.  Keep it short; it is emitted once per fire when
+            tracing is enabled.
+    """
+
+    time: int
+    seq: int
+    callback: Callable[[], None]
+    label: str = ""
+    _cancelled: bool = field(default=False, repr=False)
+
+    def cancel(self) -> None:
+        """Mark the event so it is skipped when it reaches the queue head.
+
+        Cancellation is lazy (the heap entry is not removed) which keeps
+        cancel O(1); the kernel discards cancelled entries on pop.
+        """
+        self._cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`cancel` has been called on this event."""
+        return self._cancelled
+
+
+class EventQueue:
+    """Min-heap of :class:`Event`, ordered by (time, insertion order)."""
+
+    def __init__(self) -> None:
+        self._heap: list = []
+        self._counter = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, time: int, callback: Callable[[], None],
+             label: str = "") -> Event:
+        """Schedule ``callback`` at absolute ``time`` and return its Event."""
+        event = Event(time=time, seq=next(self._counter),
+                      callback=callback, label=label)
+        heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the earliest non-cancelled event.
+
+        Returns ``None`` when the queue holds no live events.  Cancelled
+        entries encountered on the way are discarded.
+        """
+        while self._heap:
+            _, _, event = heapq.heappop(self._heap)
+            if not event.cancelled:
+                return event
+        return None
+
+    def peek_time(self) -> Optional[int]:
+        """Time of the earliest live event, or ``None`` if empty.
+
+        Cancelled entries at the head are discarded as a side effect, so
+        the returned time always belongs to an event that will fire.
+        """
+        while self._heap:
+            _, _, event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return event.time
+        return None
+
+    def clear(self) -> None:
+        """Drop every pending event."""
+        self._heap.clear()
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level inconsistencies (e.g. scheduling in the past)."""
+
+
+__all__ = ["Event", "EventQueue", "SimulationError"]

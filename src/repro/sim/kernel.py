@@ -1,0 +1,176 @@
+"""The discrete-event simulation kernel.
+
+:class:`Simulator` plays the role TOSSIM plays in the paper: it owns the
+global clock and the event queue, and every modelled entity (radios,
+timers, the TinyOS scheduler, the channel) advances by scheduling callbacks
+on it.
+
+Design notes
+------------
+
+* Time is an integer tick count (see :mod:`repro.sim.simtime`); the clock
+  only moves forward, to the timestamp of the event being dispatched.
+* ``run_until(t)`` dispatches every event with ``time <= t`` and then sets
+  the clock to exactly ``t`` so that energy ledgers can be closed at a
+  well-defined horizon.
+* Exceptions raised inside callbacks propagate out of ``run*`` unchanged,
+  annotated with the event label — silent event loss would make energy
+  figures quietly wrong.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from .events import Event, EventQueue, SimulationError
+from .rng import RngRegistry
+from .trace import TraceRecorder
+
+
+class Simulator:
+    """Deterministic discrete-event simulator.
+
+    Args:
+        seed: master seed for the per-purpose random streams handed out by
+            :attr:`rng`.  Two simulators built with the same seed and the
+            same scenario dispatch byte-identical event sequences.
+        trace: optional :class:`TraceRecorder`; when provided, every
+            dispatched event is logged to it.
+    """
+
+    def __init__(self, seed: int = 0,
+                 trace: Optional[TraceRecorder] = None) -> None:
+        self._now = 0
+        self._queue = EventQueue()
+        self._running = False
+        self._dispatched = 0
+        self.rng = RngRegistry(seed)
+        self.trace = trace
+        self._end_hooks: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current simulation time in ticks."""
+        return self._now
+
+    @property
+    def events_dispatched(self) -> int:
+        """Total number of events dispatched so far (for diagnostics)."""
+        return self._dispatched
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def at(self, time: int, callback: Callable[[], None],
+           label: str = "") -> Event:
+        """Schedule ``callback`` at absolute ``time``.
+
+        Raises :class:`SimulationError` if ``time`` is in the past.
+        Scheduling *at the current instant* is allowed and runs after all
+        callbacks already queued for that instant (FIFO), matching TinyOS
+        task-post semantics.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule {label!r} at {time} ticks: "
+                f"clock already at {self._now}")
+        return self._queue.push(time, callback, label)
+
+    def after(self, delay: int, callback: Callable[[], None],
+              label: str = "") -> Event:
+        """Schedule ``callback`` ``delay`` ticks from now."""
+        if delay < 0:
+            raise SimulationError(
+                f"cannot schedule {label!r} with negative delay {delay}")
+        return self._queue.push(self._now + delay, callback, label)
+
+    def call_soon(self, callback: Callable[[], None],
+                  label: str = "") -> Event:
+        """Schedule ``callback`` at the current instant (after queued peers)."""
+        return self._queue.push(self._now, callback, label)
+
+    def add_end_hook(self, hook: Callable[[], None]) -> None:
+        """Register a callable invoked when a ``run*`` call finishes.
+
+        Used by energy ledgers to close their open state interval at the
+        simulation horizon so reported energies cover exactly the simulated
+        duration.
+        """
+        self._end_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_until(self, end_time: int) -> None:
+        """Dispatch all events with time <= ``end_time``.
+
+        On return the clock reads exactly ``end_time`` and all end hooks
+        have run, so time-in-state accounting is complete up to the horizon.
+        """
+        if end_time < self._now:
+            raise SimulationError(
+                f"end time {end_time} is before current time {self._now}")
+        self._running = True
+        try:
+            while True:
+                next_time = self._queue.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                event = self._queue.pop()
+                assert event is not None  # peek_time said there is one
+                self._now = event.time
+                self._dispatch(event)
+        finally:
+            self._running = False
+        self._now = end_time
+        for hook in self._end_hooks:
+            hook()
+
+    def run_all(self, max_events: int = 10_000_000) -> None:
+        """Dispatch events until the queue drains.
+
+        ``max_events`` guards against runaway self-rescheduling loops
+        (periodic timers make a truly empty queue unreachable); hitting the
+        limit raises :class:`SimulationError`.
+        """
+        self._running = True
+        dispatched = 0
+        try:
+            while True:
+                event = self._queue.pop()
+                if event is None:
+                    break
+                dispatched += 1
+                if dispatched > max_events:
+                    raise SimulationError(
+                        f"run_all exceeded {max_events} events; "
+                        "use run_until for scenarios with periodic timers")
+                self._now = event.time
+                self._dispatch(event)
+        finally:
+            self._running = False
+        for hook in self._end_hooks:
+            hook()
+
+    def _dispatch(self, event: Event) -> None:
+        self._dispatched += 1
+        if self.trace is not None:
+            self.trace.record(self._now, "kernel", "dispatch", event.label)
+        try:
+            event.callback()
+        except SimulationError:
+            raise
+        except Exception as exc:  # annotate and re-raise
+            raise SimulationError(
+                f"event {event.label!r} at t={self._now} failed: {exc}"
+            ) from exc
+
+    def pending_events(self) -> int:
+        """Number of events currently queued (including cancelled stubs)."""
+        return len(self._queue)
+
+
+__all__ = ["Simulator"]

@@ -1,0 +1,103 @@
+"""Simulation time base.
+
+All simulation timestamps and durations are integer counts of
+**nanoseconds**.  An integer time base makes the discrete-event kernel
+exactly deterministic (no floating-point drift when summing thousands of
+TDMA cycles) and is fine-grained enough to express every physical duration
+in the modelled platform exactly:
+
+* one bit at the nRF2401 air rate of 1 Mbit/s is 1000 ns,
+* one MSP430 core clock cycle at 8 MHz is 125 ns,
+* the 6 us MSP430 wake-up latency is 6000 ns.
+
+The helpers below convert human-friendly units to the integer base and
+back.  Converting *to* ticks rounds to the nearest nanosecond; converting
+*from* ticks returns floats and is only used for reporting.
+"""
+
+from __future__ import annotations
+
+#: Number of simulation ticks per second (tick = 1 ns).
+TICKS_PER_SECOND = 1_000_000_000
+
+#: Number of simulation ticks per millisecond.
+TICKS_PER_MS = TICKS_PER_SECOND // 1_000
+
+#: Number of simulation ticks per microsecond.
+TICKS_PER_US = TICKS_PER_SECOND // 1_000_000
+
+
+def seconds(value: float) -> int:
+    """Convert seconds to integer simulation ticks (nearest ns)."""
+    return round(value * TICKS_PER_SECOND)
+
+
+def milliseconds(value: float) -> int:
+    """Convert milliseconds to integer simulation ticks (nearest ns)."""
+    return round(value * TICKS_PER_MS)
+
+
+def microseconds(value: float) -> int:
+    """Convert microseconds to integer simulation ticks (nearest ns)."""
+    return round(value * TICKS_PER_US)
+
+
+def nanoseconds(value: int) -> int:
+    """Identity helper: nanoseconds *are* the tick unit.
+
+    Exists so call sites can state their unit explicitly, mirroring
+    :func:`seconds` / :func:`milliseconds` / :func:`microseconds`.
+    """
+    return int(value)
+
+
+def to_seconds(ticks: int) -> float:
+    """Convert simulation ticks to (float) seconds, for reporting."""
+    return ticks / TICKS_PER_SECOND
+
+
+def to_milliseconds(ticks: int) -> float:
+    """Convert simulation ticks to (float) milliseconds, for reporting."""
+    return ticks / TICKS_PER_MS
+
+
+def to_microseconds(ticks: int) -> float:
+    """Convert simulation ticks to (float) microseconds, for reporting."""
+    return ticks / TICKS_PER_US
+
+
+def format_time(ticks: int) -> str:
+    """Render a tick count as a human-readable string.
+
+    Chooses the largest unit in which the value is at least 1, e.g.
+    ``format_time(1_500_000)`` -> ``'1.500 ms'``.
+    """
+    if ticks == 0:
+        return "0 s"
+    magnitude = abs(ticks)
+    if magnitude >= TICKS_PER_SECOND:
+        return f"{ticks / TICKS_PER_SECOND:.3f} s"
+    if magnitude >= TICKS_PER_MS:
+        return f"{ticks / TICKS_PER_MS:.3f} ms"
+    if magnitude >= TICKS_PER_US:
+        return f"{ticks / TICKS_PER_US:.3f} us"
+    return f"{ticks} ns"
+
+
+def bits_duration(bits: int, bitrate_bps: float) -> int:
+    """Airtime of ``bits`` at ``bitrate_bps`` bits per second, in ticks.
+
+    Used by the radio model to compute packet transmission times, e.g. a
+    26-byte ShockBurst frame at 1 Mbit/s lasts ``bits_duration(208, 1e6)``
+    = 208_000 ticks (208 us).
+    """
+    if bits < 0:
+        raise ValueError(f"bit count must be non-negative, got {bits}")
+    if bitrate_bps <= 0:
+        raise ValueError(f"bitrate must be positive, got {bitrate_bps}")
+    return round(bits * TICKS_PER_SECOND / bitrate_bps)
+
+
+def bytes_duration(num_bytes: int, bitrate_bps: float) -> int:
+    """Airtime of ``num_bytes`` octets at ``bitrate_bps``, in ticks."""
+    return bits_duration(8 * num_bytes, bitrate_bps)

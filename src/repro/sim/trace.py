@@ -1,0 +1,78 @@
+"""Simulation tracing.
+
+:class:`TraceRecorder` collects timestamped records emitted by the kernel
+and by models (radio state changes, MAC decisions, application events).
+Tracing is opt-in: scenarios run without a recorder pay only a ``None``
+check per event.
+
+Records are plain tuples so tests can assert on them directly, and the
+recorder can render itself as text for debugging (``str(trace)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
+
+from .simtime import format_time
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One trace line: *who* did *what* at *when*."""
+
+    time: int
+    source: str
+    kind: str
+    detail: str
+
+    def render(self) -> str:
+        """Format as a fixed-width text line."""
+        return (f"{format_time(self.time):>14}  {self.source:<20} "
+                f"{self.kind:<16} {self.detail}")
+
+
+class TraceRecorder:
+    """Append-only in-memory trace buffer with simple filtering.
+
+    Args:
+        capacity: optional bound on retained records; when exceeded the
+            oldest records are dropped (the counter keeps the true total).
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        self._records: List[TraceRecord] = []
+        self._capacity = capacity
+        self._total = 0
+
+    def record(self, time: int, source: str, kind: str, detail: str) -> None:
+        """Append one record."""
+        self._total += 1
+        self._records.append(TraceRecord(time, source, kind, detail))
+        if self._capacity is not None and len(self._records) > self._capacity:
+            overflow = len(self._records) - self._capacity
+            del self._records[:overflow]
+
+    @property
+    def total_recorded(self) -> int:
+        """Number of records ever recorded (including evicted ones)."""
+        return self._total
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self._records)
+
+    def filter(self, source: Optional[str] = None,
+               kind: Optional[str] = None) -> List[TraceRecord]:
+        """Records matching the given source and/or kind (exact match)."""
+        return [r for r in self._records
+                if (source is None or r.source == source)
+                and (kind is None or r.kind == kind)]
+
+    def __str__(self) -> str:
+        return "\n".join(r.render() for r in self._records)
+
+
+__all__ = ["TraceRecord", "TraceRecorder"]

@@ -1,0 +1,24 @@
+"""TinyOS model: FIFO scheduler, tasks, virtual timers, components.
+
+This package plays the role of the embedded OS (Section 3.2.1): it is
+the only driver of the MCU power state, implements TinyOS run-to-
+completion task semantics, and provides the layered component model of
+Figure 1.
+"""
+
+from .components import Component, ComponentStack
+from .power import DeepSleepPolicy, Lpm0Only, ThresholdDeepSleep
+from .scheduler import TaskScheduler
+from .tasks import Task
+from .timers import VirtualTimer
+
+__all__ = [
+    "Component",
+    "ComponentStack",
+    "DeepSleepPolicy",
+    "Lpm0Only",
+    "ThresholdDeepSleep",
+    "TaskScheduler",
+    "Task",
+    "VirtualTimer",
+]

@@ -1,0 +1,64 @@
+"""MCU power-mode selection policies.
+
+"Depending on the application, the TinyOS scheduler calculates in which
+of the 5 available power save modes the microcontroller will be put
+during the inactive periods.  Because of the relative complexity of the
+applications considered here, the scheduler only used the first low
+power mode." (Section 4.1.)
+
+This module implements that calculation.  When the task queue drains,
+the scheduler asks its policy how to sleep, passing the time until the
+node's next *known* wake-up (sampling timers, beacon windows, slots —
+composed by the node assembly).  Policies:
+
+* :class:`Lpm0Only` — the paper's validated behaviour and the default:
+  always the first low-power mode.
+* :class:`ThresholdDeepSleep` — the what-if the quoted sentence
+  implies: idle gaps at least ``threshold_ticks`` long are spent in the
+  deep (LPM3-class) state instead.  Unknown gaps (no hint, e.g. an
+  unscheduled radio interrupt could arrive) conservatively stay in
+  LPM0.  The deep-sleep ablation quantifies the saving this would buy
+  the platform.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class DeepSleepPolicy:
+    """Interface: should this idle gap be spent in the deep mode?"""
+
+    def choose_deep(self, gap_ticks: Optional[int]) -> bool:
+        """``gap_ticks`` is the time to the next known wake-up, or None
+        when no wake-up is scheduled/known."""
+        raise NotImplementedError
+
+
+class Lpm0Only(DeepSleepPolicy):
+    """The paper's behaviour: never leave the first low-power mode."""
+
+    def choose_deep(self, gap_ticks: Optional[int]) -> bool:
+        return False
+
+
+class ThresholdDeepSleep(DeepSleepPolicy):
+    """Deep-sleep any known idle gap of at least ``threshold_ticks``.
+
+    The threshold models the overhead that makes short deep sleeps not
+    worth it (clock restart, peripheral reconfiguration): gaps shorter
+    than it — and gaps of unknown length — stay in LPM0.
+    """
+
+    def __init__(self, threshold_ticks: int) -> None:
+        if threshold_ticks <= 0:
+            raise ValueError(
+                f"threshold must be positive: {threshold_ticks}")
+        self.threshold_ticks = threshold_ticks
+
+    def choose_deep(self, gap_ticks: Optional[int]) -> bool:
+        return gap_ticks is not None \
+            and gap_ticks >= self.threshold_ticks
+
+
+__all__ = ["DeepSleepPolicy", "Lpm0Only", "ThresholdDeepSleep"]

@@ -1,0 +1,134 @@
+"""The TinyOS FIFO task scheduler and MCU power manager.
+
+TinyOS semantics reproduced here (Section 3.2.1 / reference [1] of the
+paper):
+
+* tasks are posted into a FIFO queue and run to completion, in post
+  order, one at a time;
+* when the queue drains, the scheduler puts the MCU into a low-power
+  mode ("the scheduler calculates in which of the 5 available power save
+  modes the microcontroller will be put"; for these applications it only
+  ever used the first one, Section 4.1);
+* a post into an empty queue wakes the MCU (6 us wake-up latency) and
+  dispatch resumes.
+
+The scheduler is the *only* driver of the MCU power state, which keeps
+the energy accounting coherent: MCU active time == time executing tasks
+(+ wake-up transitions).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from ..hw.mcu import Msp430
+from ..sim.kernel import Simulator
+from ..sim.trace import TraceRecorder
+from .power import DeepSleepPolicy, Lpm0Only
+from .tasks import Task
+
+
+class TaskScheduler:
+    """FIFO run-to-completion scheduler bound to one MCU."""
+
+    def __init__(self, sim: Simulator, mcu: Msp430,
+                 name: str = "scheduler",
+                 trace: Optional[TraceRecorder] = None) -> None:
+        self._sim = sim
+        self._mcu = mcu
+        self.name = name
+        self._trace = trace
+        self._queue: Deque[Task] = deque()
+        self._dispatching = False
+        self._tasks_run = 0
+        #: How to sleep when the queue drains (default: the paper's
+        #: LPM0-only behaviour).
+        self.power_policy: DeepSleepPolicy = Lpm0Only()
+        #: Returns the absolute tick of the node's next known wake-up
+        #: (sampling timer, beacon window, slot) or None; installed by
+        #: the node assembly when a deep-sleep policy is in use.
+        self.wake_hint_provider: Optional[Callable[[], Optional[int]]] \
+            = None
+
+    # ------------------------------------------------------------------
+    # Posting
+    # ------------------------------------------------------------------
+    def post(self, body: Callable[[], None], cycles: int,
+             label: str = "") -> Task:
+        """Post a task; wakes the MCU if the queue was idle.
+
+        Args:
+            body: side effects, executed at dispatch time.
+            cycles: MCU active cost in core clock cycles.
+            label: trace name.
+        """
+        task = Task(body=body, cycles=cycles, label=label)
+        self._queue.append(task)
+        if not self._dispatching:
+            self._start_dispatch()
+        return task
+
+    def post_cost_only(self, cycles: int, label: str = "") -> Task:
+        """Post a task that only costs MCU time (no modelled side effect).
+
+        Used for activities whose effect is already modelled elsewhere
+        but whose CPU cost must be paid, e.g. beacon processing.
+        """
+        return self.post(lambda: None, cycles, label)
+
+    @property
+    def pending(self) -> int:
+        """Tasks currently queued (excluding the one executing)."""
+        return len(self._queue)
+
+    @property
+    def tasks_run(self) -> int:
+        """Total tasks dispatched so far."""
+        return self._tasks_run
+
+    @property
+    def is_idle(self) -> bool:
+        """True when nothing is queued or executing."""
+        return not self._dispatching and not self._queue
+
+    # ------------------------------------------------------------------
+    # Dispatch loop
+    # ------------------------------------------------------------------
+    def _start_dispatch(self) -> None:
+        self._dispatching = True
+        wake_latency = self._mcu.wake()
+        # The first task starts after the wake-up transition (6 us from
+        # the power-saving mode, 0 if the MCU was already active).
+        self._sim.after(wake_latency, self._dispatch_next,
+                        label=f"{self.name}.dispatch")
+
+    def _dispatch_next(self) -> None:
+        if not self._queue:
+            self._dispatching = False
+            self._mcu.sleep(deep=self._choose_deep())
+            return
+        task = self._queue.popleft()
+        self._tasks_run += 1
+        self._mcu.begin_task(task.label)
+        self._mcu.account_cycles(task.cycles)
+        if self._trace is not None:
+            self._trace.record(self._sim.now, self.name, "task",
+                               f"{task.label}#{task.task_id} "
+                               f"({task.cycles} cyc)")
+        duration = self._mcu.cycles_to_ticks(task.cycles)
+        # The body's side effects happen at task start; the MCU then
+        # stays active for the task's duration before the next dispatch.
+        task.body()
+        self._sim.after(duration, self._dispatch_next,
+                        label=f"{self.name}.dispatch")
+
+    def _choose_deep(self) -> bool:
+        if self.wake_hint_provider is None:
+            return self.power_policy.choose_deep(None)
+        hint = self.wake_hint_provider()
+        gap = None if hint is None else max(0, hint - self._sim.now)
+        return self.power_policy.choose_deep(gap)
+
+
+__all__ = ["TaskScheduler"]

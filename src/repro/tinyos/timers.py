@@ -1,0 +1,101 @@
+"""Virtual timers (the TinyOS ``Timer`` interface).
+
+A :class:`VirtualTimer` fires a handler in *interrupt context*: the
+hardware timer compare interrupt preempts sleep, and the handler —
+like a real TinyOS ``fired()`` event — should do minimal work and post a
+task for anything substantial.  The interrupt's own cost is folded into
+the posted task's calibrated cycle count.
+
+Periodic timers re-arm from the *scheduled* fire time, not the actual
+dispatch time, so long tasks cannot skew the sampling grid (TinyOS's
+``startPeriodic`` behaves the same way); this matters for the sampling
+applications where the grid defines the data rate.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim.events import Event
+from ..sim.kernel import Simulator
+
+
+class VirtualTimer:
+    """One-shot or periodic timer bound to the simulation clock."""
+
+    def __init__(self, sim: Simulator, handler: Callable[[], None],
+                 name: str = "timer") -> None:
+        self._sim = sim
+        self._handler = handler
+        self.name = name
+        self._event: Optional[Event] = None
+        self._period: Optional[int] = None
+        self._next_fire: Optional[int] = None
+        self._fired_count = 0
+
+    # ------------------------------------------------------------------
+    # Arming
+    # ------------------------------------------------------------------
+    def start_one_shot(self, delay: int) -> None:
+        """Fire once, ``delay`` ticks from now.  Re-arming cancels."""
+        self.stop()
+        self._period = None
+        self._next_fire = self._sim.now + delay
+        self._event = self._sim.at(self._next_fire, self._fire,
+                                   label=f"{self.name}.fire")
+
+    def start_periodic(self, period: int, first_delay: Optional[int] = None
+                       ) -> None:
+        """Fire every ``period`` ticks; first fire after ``first_delay``
+        (defaults to ``period``)."""
+        if period <= 0:
+            raise ValueError(f"{self.name}: period must be > 0, got {period}")
+        self.stop()
+        self._period = period
+        delay = period if first_delay is None else first_delay
+        self._next_fire = self._sim.now + delay
+        self._event = self._sim.at(self._next_fire, self._fire,
+                                   label=f"{self.name}.fire")
+
+    def stop(self) -> None:
+        """Disarm; a pending fire is cancelled."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        self._next_fire = None
+
+    @property
+    def is_running(self) -> bool:
+        """Whether a fire is pending."""
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def fired_count(self) -> int:
+        """Number of times the handler has run."""
+        return self._fired_count
+
+    @property
+    def next_fire_ticks(self) -> Optional[int]:
+        """Absolute time of the pending fire (None when disarmed).
+
+        Power-management hint: the deep-sleep policy uses it to bound
+        idle gaps.
+        """
+        if self._event is None or self._event.cancelled:
+            return None
+        return self._next_fire
+
+    # ------------------------------------------------------------------
+    def _fire(self) -> None:
+        self._event = None
+        if self._period is not None:
+            # Re-arm from the scheduled time to keep the grid exact.
+            assert self._next_fire is not None
+            self._next_fire += self._period
+            self._event = self._sim.at(self._next_fire, self._fire,
+                                       label=f"{self.name}.fire")
+        self._fired_count += 1
+        self._handler()
+
+
+__all__ = ["VirtualTimer"]

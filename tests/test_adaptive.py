@@ -1,0 +1,138 @@
+"""Tests for the adaptive cardiac application (mode switching)."""
+
+import pytest
+
+from repro.apps.adaptive import AdaptiveCardiacApp, CardiacMode
+from repro.net.scenario import BanScenario, BanScenarioConfig
+from repro.signals.arrhythmia import IrregularEcg
+from repro.signals.ecg import SyntheticEcg
+from repro.signals.sources import ScaledSource
+
+
+def build(signal, measure_s=20.0, cycle_ms=60.0, **app_checks):
+    config = BanScenarioConfig(mac="static", app="adaptive", num_nodes=1,
+                               cycle_ms=cycle_ms, measure_s=measure_s)
+    scenario = BanScenario(config)
+    scenario.nodes[0].asic.connect_source(
+        0, ScaledSource(signal, gain=0.8, offset=1.25))
+    scenario.nodes[0].asic.connect_source(
+        1, ScaledSource(signal, gain=0.5, offset=1.25))
+    result = scenario.run()
+    return scenario, scenario.nodes[0].app, result
+
+
+class TestNormalRhythm:
+    def test_stays_in_monitor_mode(self):
+        _, app, _ = build(SyntheticEcg(heart_rate_bpm=75.0))
+        assert app.mode is CardiacMode.MONITOR
+        assert app.alarms_raised == 0
+        assert app.alarm_time_fraction(20.0) == 0.0
+
+    def test_sends_beat_reports_only(self):
+        scenario, app, result = build(SyntheticEcg(heart_rate_bpm=75.0))
+        node = result.node("node1")
+        # ~1.25 beats/s over the window, one 4-byte report each.
+        assert node.traffic.data_tx \
+            == pytest.approx(1.25 * 20.0, rel=0.35)
+        frames = scenario.base_station.frames_from("node1")
+        assert all(f.payload["kind"] == "beat" for f in frames)
+
+    def test_energy_close_to_rpeak_app(self):
+        _, _, adaptive = build(SyntheticEcg(heart_rate_bpm=75.0))
+        rpeak = BanScenario(BanScenarioConfig(
+            mac="static", app="rpeak", num_nodes=1, cycle_ms=60.0,
+            measure_s=20.0)).run()
+        a = adaptive.node("node1")
+        r = rpeak.node("node1")
+        assert a.radio_mj == pytest.approx(r.radio_mj, rel=0.05)
+
+
+class TestArrhythmiaResponse:
+    def test_dropped_beats_raise_alarm(self):
+        signal = IrregularEcg(heart_rate_bpm=75.0,
+                              dropped_beat_prob=0.15, seed=5)
+        _, app, _ = build(signal)
+        assert app.alarms_raised >= 1
+        assert any(mode is CardiacMode.ALARM
+                   for _, mode, _ in app.mode_changes)
+        reasons = [reason for _, mode, reason in app.mode_changes
+                   if mode is CardiacMode.ALARM]
+        assert any("irregular" in r or "bradycardia" in r
+                   for r in reasons)
+
+    def test_alarm_streams_raw_waveform(self):
+        signal = IrregularEcg(heart_rate_bpm=75.0,
+                              dropped_beat_prob=0.15, seed=5)
+        scenario, app, result = build(signal)
+        frames = scenario.base_station.frames_from("node1")
+        kinds = {f.payload["kind"] for f in frames}
+        assert "alarm_stream" in kinds
+        stream_frames = [f for f in frames
+                         if f.payload["kind"] == "alarm_stream"]
+        assert all(f.payload_bytes == 18 for f in stream_frames)
+        assert any(f.payload["codes"] for f in stream_frames)
+
+    def test_alarm_costs_more_energy(self):
+        """The guard window dominates the radio budget, so the alarm's
+        extra streaming shows up as a small radio increase and a large
+        traffic increase."""
+        normal_signal = SyntheticEcg(heart_rate_bpm=75.0)
+        sick_signal = IrregularEcg(heart_rate_bpm=75.0,
+                                   dropped_beat_prob=0.15, seed=5)
+        _, _, normal = build(normal_signal)
+        _, sick_app, sick = build(sick_signal)
+        assert sick_app.alarm_time_fraction(20.0) > 0.1
+        assert sick.node("node1").traffic.data_tx \
+            > 2 * normal.node("node1").traffic.data_tx
+        assert sick.node("node1").radio_mj \
+            > 1.005 * normal.node("node1").radio_mj
+
+    def test_recovers_after_hold(self):
+        """Force an alarm during a *normal* rhythm: once the hold
+        expires with no further abnormality, MONITOR mode returns."""
+        from repro.sim.simtime import seconds
+        config = BanScenarioConfig(mac="static", app="adaptive",
+                                   num_nodes=1, cycle_ms=60.0,
+                                   measure_s=30.0)
+        scenario = BanScenario(config)
+        signal = SyntheticEcg(heart_rate_bpm=75.0)
+        scenario.nodes[0].asic.connect_source(
+            0, ScaledSource(signal, gain=0.8, offset=1.25))
+        scenario.start_all()
+        app = scenario.nodes[0].app
+        scenario.sim.run_until(seconds(5.0))
+        app._enter_alarm("injected for test")
+        assert app.in_alarm
+        scenario.sim.run_until(seconds(25.0))  # hold is 10 s
+        assert not app.in_alarm
+        assert app.mode_changes[-1][1] is CardiacMode.MONITOR
+
+    def test_tachycardia_detection(self):
+        _, app, _ = build(SyntheticEcg(heart_rate_bpm=160.0))
+        assert app.alarms_raised >= 1
+        reasons = " ".join(reason for _, _, reason in app.mode_changes)
+        assert "tachycardia" in reasons
+
+    def test_bradycardia_detection(self):
+        _, app, _ = build(SyntheticEcg(heart_rate_bpm=38.0))
+        assert app.alarms_raised >= 1
+        reasons = " ".join(reason for _, _, reason in app.mode_changes)
+        assert "bradycardia" in reasons
+
+
+class TestValidation:
+    def test_bad_thresholds(self, sim, cal):
+        config = BanScenarioConfig(mac="static", app="adaptive",
+                                   num_nodes=1, measure_s=1.0)
+        scenario = BanScenario(config)
+        from repro.apps.adaptive import AdaptiveCardiacApp as App
+        node = scenario.nodes[0]
+        with pytest.raises(ValueError, match="bradycardia"):
+            App(scenario.sim, node.scheduler, node.asic, node.adc,
+                node.mac, cal, bradycardia_bpm=150.0,
+                tachycardia_bpm=100.0, name="bad")
+
+    def test_alarm_fraction_validation(self):
+        _, app, _ = build(SyntheticEcg(), measure_s=2.0)
+        with pytest.raises(ValueError):
+            app.alarm_time_fraction(0.0)

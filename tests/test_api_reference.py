@@ -1,0 +1,32 @@
+"""The committed API reference must match the generated one, and every
+public item must carry a docstring."""
+
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+class TestApiReference:
+    def test_reference_is_current(self):
+        generated = subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "gen_api_reference.py")],
+            capture_output=True, text=True, check=True).stdout
+        committed = (ROOT / "docs" / "api_reference.md").read_text()
+        assert generated == committed, (
+            "docs/api_reference.md is stale; regenerate with "
+            "python tools/gen_api_reference.py > docs/api_reference.md")
+
+    def test_no_undocumented_public_items(self):
+        text = (ROOT / "docs" / "api_reference.md").read_text()
+        assert "(undocumented)" not in text
+
+    def test_reference_covers_every_package(self):
+        text = (ROOT / "docs" / "api_reference.md").read_text()
+        for package in ("repro.sim", "repro.core", "repro.tinyos",
+                        "repro.hw", "repro.phy", "repro.mac",
+                        "repro.apps", "repro.signals", "repro.net",
+                        "repro.analysis", "repro.baselines",
+                        "repro.data"):
+            assert f"`{package}" in text, package

@@ -1,0 +1,144 @@
+"""Unit tests for the calibration constants and their derivations."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import calibration as cal
+
+
+class TestPublishedConstants:
+    """The Section 3/4 values must stay exactly as published."""
+
+    def test_supply_voltage(self):
+        assert cal.SUPPLY_V == 2.8
+
+    def test_mcu_currents(self):
+        assert cal.MCU_ACTIVE_A == pytest.approx(2.0e-3)
+        assert cal.MCU_SLEEP_A == pytest.approx(0.66e-3)
+
+    def test_mcu_wakeup_6us(self):
+        assert cal.MCU_WAKEUP_S == pytest.approx(6e-6)
+
+    def test_radio_currents(self):
+        assert cal.RADIO_RX_A == pytest.approx(24.82e-3)
+        assert cal.RADIO_TX_A == pytest.approx(17.54e-3)
+
+    def test_radio_standby_neglected(self):
+        assert cal.RADIO_STANDBY_A == 0.0
+        assert cal.RADIO_STANDBY_DATASHEET_A < 100e-6
+
+    def test_asic_constant_power(self):
+        assert cal.ASIC_POWER_W == pytest.approx(10.5e-3)
+        assert cal.ASIC_SUPPLY_V == 3.0
+
+    def test_mcu_max_clock(self):
+        assert cal.MCU_CLOCK_HZ == 8_000_000
+
+    def test_energy_per_cycle_near_datasheet(self):
+        # 2 mA * 2.8 V / 8 MHz = 0.7 nJ/cycle, same order as the quoted
+        # 0.6 nJ/instruction.
+        per_cycle = cal.MCU_ACTIVE_A * cal.SUPPLY_V / cal.MCU_CLOCK_HZ
+        assert per_cycle == pytest.approx(0.7e-9)
+
+
+class TestRadioTiming:
+    def test_frame_overhead_is_8_bytes(self):
+        timing = cal.RadioTiming()
+        assert timing.frame_bytes(0) == 8
+
+    def test_case_study_frame_26_bytes(self):
+        assert cal.RADIO_TIMING.frame_bytes(18) == 26
+
+    def test_airtime_18_byte_payload(self):
+        assert cal.RADIO_TIMING.airtime_s(18) == pytest.approx(208e-6)
+
+    def test_tx_event_duration(self):
+        # settle 195 + air 208 + tail 82 = 485 us.
+        assert cal.RADIO_TIMING.tx_event_s(18) == pytest.approx(485e-6)
+
+    def test_tx_event_energy_matches_table_fit(self):
+        # The streaming-minus-Rpeak per-cycle difference: ~23.8 uJ.
+        energy = cal.RADIO_TIMING.tx_event_s(18) * cal.RADIO_TX_A \
+            * cal.SUPPLY_V
+        assert energy == pytest.approx(23.8e-6, rel=0.01)
+
+    def test_negative_payload_rejected(self):
+        with pytest.raises(ValueError):
+            cal.RADIO_TIMING.frame_bytes(-1)
+
+
+class TestSyncCalibration:
+    def test_static_window_matches_fit(self):
+        # lead + 9-byte-payload beacon airtime + RX tail ~= 3.28 ms.
+        sync = cal.SYNC_CALIBRATION
+        window = sync.static_lead_s + cal.RADIO_TIMING.airtime_s(9) \
+            + cal.RADIO_TIMING.rx_tail_s
+        assert window == pytest.approx(3.28e-3, rel=0.01)
+
+    def test_static_window_energy_near_paper_per_cycle(self):
+        sync = cal.SYNC_CALIBRATION
+        window = sync.static_lead_s + cal.RADIO_TIMING.airtime_s(9) \
+            + cal.RADIO_TIMING.rx_tail_s
+        energy = window * cal.RADIO_RX_A * cal.SUPPLY_V
+        # Rpeak static: ~0.228 mJ per cycle (Table 3 / cycle count).
+        assert energy == pytest.approx(0.228e-3, rel=0.02)
+
+    def test_dynamic_lead_grows_with_cycle(self):
+        sync = cal.SYNC_CALIBRATION
+        from repro.sim.simtime import milliseconds
+        short = sync.dynamic_lead_ticks(milliseconds(20))
+        long = sync.dynamic_lead_ticks(milliseconds(60))
+        assert long > short
+        assert long - short == pytest.approx(
+            0.017 * milliseconds(40), rel=0.01)
+
+    def test_static_lead_ticks(self):
+        assert cal.SYNC_CALIBRATION.static_lead_ticks() == 3_112_000
+
+
+class TestMcuCosts:
+    def test_streaming_per_cycle_decomposition(self):
+        costs = cal.MCU_COSTS
+        # beacon (2.24 ms) + packet prep (4.19 ms) = the fitted 6.43 ms.
+        total_s = costs.cycles_to_seconds(costs.beacon_processing
+                                          + costs.packet_preparation)
+        assert total_s == pytest.approx(6.43e-3, rel=0.001)
+
+    def test_rpeak_per_sample_decomposition(self):
+        costs = cal.MCU_COSTS
+        total_s = costs.cycles_to_seconds(costs.sample_acquisition
+                                          + costs.rpeak_algorithm)
+        assert total_s == pytest.approx(196.7e-6, rel=0.001)
+
+    def test_sample_acquisition_22us(self):
+        costs = cal.MCU_COSTS
+        assert costs.cycles_to_seconds(costs.sample_acquisition) \
+            == pytest.approx(22e-6)
+
+    def test_costs_are_positive_integers(self):
+        costs = cal.MCU_COSTS
+        for field in ("beacon_processing", "packet_preparation",
+                      "sample_acquisition", "rpeak_algorithm",
+                      "packet_reception"):
+            value = getattr(costs, field)
+            assert isinstance(value, int) and value > 0
+
+
+class TestModelCalibration:
+    def test_default_bundle_consistent(self):
+        bundle = cal.DEFAULT_CALIBRATION
+        assert bundle.supply_v == cal.SUPPLY_V
+        assert bundle.radio_rx_a == cal.RADIO_RX_A
+        assert bundle.mcu_costs.beacon_processing \
+            == cal.MCU_COSTS.beacon_processing
+
+    def test_replace_builds_variant(self):
+        variant = dataclasses.replace(cal.DEFAULT_CALIBRATION,
+                                      radio_standby_a=12e-6)
+        assert variant.radio_standby_a == 12e-6
+        assert cal.DEFAULT_CALIBRATION.radio_standby_a == 0.0
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cal.DEFAULT_CALIBRATION.supply_v = 3.3

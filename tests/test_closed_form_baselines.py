@@ -1,0 +1,114 @@
+"""Tests for the analytic predictor and the baseline fidelity ladder."""
+
+import pytest
+
+from conftest import run_quick
+from repro.analysis.closed_form import beacon_window_s, explain, predict
+from repro.baselines.naive import Fidelity, estimate, fidelity_ladder
+from repro.net.scenario import BanScenarioConfig
+
+
+def config_for(**kw):
+    defaults = dict(mac="static", app="ecg_streaming", num_nodes=5,
+                    cycle_ms=30.0, sampling_hz=205.0, measure_s=60.0)
+    defaults.update(kw)
+    return BanScenarioConfig(**defaults)
+
+
+class TestAnalyticPredictor:
+    def test_matches_paper_table1_row1(self):
+        pred = predict(config_for())
+        assert pred.radio_mj == pytest.approx(502.9, rel=0.01)
+        assert pred.mcu_mj == pytest.approx(161.2, rel=0.01)
+
+    def test_matches_simulator_streaming(self):
+        config = config_for(measure_s=4.0, num_nodes=3)
+        pred = predict(config)
+        _, result = run_quick(app="ecg_streaming", cycle_ms=30.0,
+                              sampling_hz=205.0, num_nodes=3,
+                              measure_s=4.0)
+        node = result.node("node1")
+        assert node.radio_mj == pytest.approx(pred.radio_mj, rel=0.005)
+        assert node.mcu_mj == pytest.approx(pred.mcu_mj, rel=0.005)
+
+    def test_matches_simulator_rpeak(self):
+        config = config_for(app="rpeak", cycle_ms=120.0, sampling_hz=None,
+                            measure_s=6.0)
+        pred = predict(config)
+        _, result = run_quick(app="rpeak", cycle_ms=120.0, num_nodes=5,
+                              measure_s=6.0)
+        node = result.node("node1")
+        # Beat traffic is stochastic-ish (detection timing), so a
+        # slightly wider band than streaming.
+        assert node.radio_mj == pytest.approx(pred.radio_mj, rel=0.02)
+        assert node.mcu_mj == pytest.approx(pred.mcu_mj, rel=0.02)
+
+    def test_matches_simulator_dynamic(self):
+        config = config_for(mac="dynamic", sampling_hz=None,
+                            num_nodes=3, measure_s=4.0)
+        pred = predict(config)
+        _, result = run_quick(mac="dynamic", app="ecg_streaming",
+                              num_nodes=3, measure_s=4.0)
+        node = result.node("node1")
+        assert node.radio_mj == pytest.approx(pred.radio_mj, rel=0.01)
+        assert node.mcu_mj == pytest.approx(pred.mcu_mj, rel=0.01)
+
+    def test_window_static_vs_dynamic(self):
+        static = beacon_window_s(config_for())
+        dynamic = beacon_window_s(config_for(mac="dynamic", num_nodes=5,
+                                             sampling_hz=None))
+        assert static == pytest.approx(3.28e-3, rel=0.01)
+        # 60 ms dynamic cycle: 2.048 + 0.017*60 + air + tail ~ 3.24 ms.
+        assert dynamic == pytest.approx(3.24e-3, rel=0.02)
+
+    def test_asic_energy(self):
+        assert predict(config_for()).asic_mj == pytest.approx(630.0)
+
+    def test_explain_contains_numbers(self):
+        text = explain(config_for())
+        assert "2000.0 cycles" in text
+        assert "radio: 50" in text
+
+
+class TestFidelityLadder:
+    def test_ladder_orders_by_accuracy(self):
+        config = config_for()
+        l0, l1, l2 = fidelity_ladder(config)
+        # Radio estimates rise monotonically toward the truth (~540 real).
+        assert l0.radio_mj < l1.radio_mj < l2.radio_mj
+        assert l2.radio_mj == pytest.approx(502.9, rel=0.01)
+
+    def test_l0_misses_an_order_of_magnitude(self):
+        l0 = estimate(config_for(), Fidelity.L0_AIRTIME)
+        assert l0.radio_mj < 0.1 * 540.6
+
+    def test_l1_adds_only_tx_overhead(self):
+        config = config_for()
+        l0 = estimate(config, Fidelity.L0_AIRTIME)
+        l1 = estimate(config, Fidelity.L1_TX_OVERHEAD)
+        cal = config.calibration
+        overhead_s = cal.radio_timing.tx_settle_s \
+            + cal.radio_timing.tx_tail_s
+        expected_delta = 2000 * overhead_s * cal.radio_tx_a \
+            * cal.supply_v * 1e3
+        assert l1.radio_mj - l0.radio_mj \
+            == pytest.approx(expected_delta, rel=0.01)
+
+    def test_l2_equals_analytic(self):
+        config = config_for()
+        l2 = estimate(config, Fidelity.L2_GUARD_WINDOWS)
+        pred = predict(config)
+        assert l2.radio_mj == pred.radio_mj
+        assert l2.mcu_mj == pred.mcu_mj
+
+    def test_rpeak_ladder(self):
+        config = config_for(app="rpeak", cycle_ms=120.0,
+                            sampling_hz=None)
+        l0, _, l2 = fidelity_ladder(config)
+        assert l0.radio_mj < 0.05 * l2.radio_mj  # almost no TX traffic
+        assert l2.radio_mj == pytest.approx(116.7, rel=0.02)
+
+    def test_naive_mcu_underestimates(self):
+        l0 = estimate(config_for(), Fidelity.L0_AIRTIME)
+        # Instruction-count-only: far below the measured 170.2 mJ.
+        assert l0.mcu_mj < 0.75 * 170.2

@@ -1,0 +1,66 @@
+"""Tests for the structured result comparison."""
+
+import pytest
+
+from conftest import run_quick
+from repro.analysis.compare import (
+    MetricDelta,
+    compare_nodes,
+    render_comparison,
+)
+
+
+class TestMetricDelta:
+    def test_delta_and_relative(self):
+        delta = MetricDelta("x", baseline=10.0, candidate=12.0)
+        assert delta.delta == pytest.approx(2.0)
+        assert delta.relative == pytest.approx(0.2)
+        assert delta.is_significant(0.1)
+        assert not delta.is_significant(0.25)
+
+    def test_zero_baseline(self):
+        assert MetricDelta("x", 0.0, 5.0).relative == float("inf")
+        assert MetricDelta("x", 0.0, 0.0).relative == 0.0
+
+
+class TestCompareNodes:
+    @pytest.fixture(scope="class")
+    def pair(self):
+        _, streaming = run_quick(app="ecg_streaming", cycle_ms=30.0,
+                                 sampling_hz=205.0, measure_s=3.0)
+        _, rpeak = run_quick(app="rpeak", cycle_ms=30.0, measure_s=3.0)
+        return streaming.node("node1"), rpeak.node("node1")
+
+    def test_covers_energy_traffic_and_losses(self, pair):
+        deltas = {d.name: d for d in compare_nodes(*pair)}
+        assert {"radio_mj", "mcu_mj", "data_tx",
+                "loss_idle_listening_mj"} <= set(deltas)
+
+    def test_directions_match_the_applications(self, pair):
+        deltas = {d.name: d for d in compare_nodes(*pair)}
+        # Rpeak sends far fewer packets and spends less on data TX.
+        assert deltas["data_tx"].delta < 0
+        assert deltas["loss_data_tx_mj"].delta < 0
+        # Its MCU runs the detector: more active energy.
+        assert deltas["mcu_mj"].delta < 0 or deltas["mcu_mj"].delta > 0
+        # Beacon reception is identical (same cycle).
+        assert not deltas["control_rx"].is_significant(0.02)
+
+    def test_identical_results_diff_empty(self, pair):
+        node, _ = pair
+        deltas = compare_nodes(node, node)
+        text = render_comparison(deltas)
+        assert "no metric moved" in text
+
+    def test_render_flags_changes(self, pair):
+        deltas = compare_nodes(*pair)
+        text = render_comparison(deltas, "streaming", "rpeak")
+        assert "streaming" in text and "rpeak" in text
+        assert "data_tx" in text
+        assert "%" in text
+
+    def test_render_show_all(self, pair):
+        node, _ = pair
+        text = render_comparison(compare_nodes(node, node),
+                                 show_all=True)
+        assert "radio_mj" in text

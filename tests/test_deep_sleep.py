@@ -1,0 +1,112 @@
+"""Tests for the LPM ladder and the deep-sleep power-policy extension."""
+
+import pytest
+
+from repro.core.calibration import MCU_LPM_LADDER_A
+from repro.hw.mcu import ACTIVE, DEEP_SLEEP, SLEEP, Msp430
+from repro.net.scenario import BanScenario, BanScenarioConfig
+from repro.sim.simtime import milliseconds, seconds
+from repro.tinyos.power import Lpm0Only, ThresholdDeepSleep
+
+
+class TestLpmLadder:
+    def test_five_modes_defined(self):
+        assert set(MCU_LPM_LADDER_A) \
+            == {"lpm0", "lpm1", "lpm2", "lpm3", "lpm4"}
+        currents = [MCU_LPM_LADDER_A[f"lpm{i}"] for i in range(5)]
+        assert currents == sorted(currents, reverse=True)
+
+    def test_lpm0_is_the_measured_value(self, cal):
+        assert MCU_LPM_LADDER_A["lpm0"] == cal.mcu_sleep_a == 0.66e-3
+
+    def test_mcu_deep_state(self, sim, cal):
+        mcu = Msp430(sim, cal)
+        mcu.sleep(deep=True)
+        assert mcu.ledger.state == DEEP_SLEEP
+        assert mcu.is_sleeping
+        sim.run_until(seconds(10.0))
+        expected = cal.mcu_deep_sleep_a * cal.supply_v * 10.0 * 1e3
+        assert mcu.energy_mj() == pytest.approx(expected)
+
+    def test_wake_from_deep_costs_same_latency(self, sim, cal):
+        mcu = Msp430(sim, cal)
+        mcu.sleep(deep=True)
+        assert mcu.wake() == 6_000  # 6 us
+        assert mcu.ledger.state == ACTIVE
+
+    def test_deepen_ongoing_sleep(self, sim, cal):
+        mcu = Msp430(sim, cal)
+        assert mcu.ledger.state == SLEEP
+        mcu.sleep(deep=True)
+        assert mcu.ledger.state == DEEP_SLEEP
+
+
+class TestPolicies:
+    def test_lpm0_only_never_deep(self):
+        policy = Lpm0Only()
+        assert not policy.choose_deep(None)
+        assert not policy.choose_deep(10**12)
+
+    def test_threshold_policy(self):
+        policy = ThresholdDeepSleep(milliseconds(2))
+        assert not policy.choose_deep(None)  # unknown gap: stay safe
+        assert not policy.choose_deep(milliseconds(1))
+        assert policy.choose_deep(milliseconds(2))
+        assert policy.choose_deep(milliseconds(100))
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            ThresholdDeepSleep(0)
+
+
+class TestScenarioIntegration:
+    def run(self, threshold_ms, app="rpeak", cycle_ms=120.0):
+        config = BanScenarioConfig(
+            mac="static", app=app, num_nodes=1, cycle_ms=cycle_ms,
+            measure_s=6.0, deep_sleep_threshold_ms=threshold_ms)
+        scenario = BanScenario(config)
+        return scenario, scenario.run()
+
+    def test_default_never_enters_deep(self):
+        _, result = self.run(None)
+        assert "deep_sleep" not in result.node("node1").mcu_by_state_mj
+
+    def test_deep_sleep_reduces_mcu_energy(self):
+        _, base = self.run(None)
+        _, deep = self.run(2.0)
+        assert deep.node("node1").mcu_mj \
+            < 0.6 * base.node("node1").mcu_mj
+        assert deep.node("node1").mcu_by_state_mj["deep_sleep"] > 0
+
+    def test_radio_energy_unchanged(self):
+        """The power policy touches only the MCU."""
+        _, base = self.run(None)
+        _, deep = self.run(2.0)
+        assert deep.node("node1").radio_mj \
+            == pytest.approx(base.node("node1").radio_mj, rel=1e-9)
+
+    def test_functionality_preserved(self):
+        """Deep sleeping must not lose samples, beats or packets."""
+        scenario_base, base = self.run(None)
+        scenario_deep, deep = self.run(2.0)
+        assert deep.node("node1").traffic.data_tx \
+            == base.node("node1").traffic.data_tx
+        assert scenario_deep.nodes[0].app.samples_taken \
+            == scenario_base.nodes[0].app.samples_taken
+
+    def test_high_rate_app_gets_no_deep_gaps(self):
+        """Streaming at 205 Hz wakes every ~4.9 ms; with a 6 ms
+        threshold the policy finds no eligible gap."""
+        config = BanScenarioConfig(
+            mac="static", app="ecg_streaming", num_nodes=1,
+            cycle_ms=30.0, sampling_hz=205.0, measure_s=3.0,
+            deep_sleep_threshold_ms=6.0)
+        result = BanScenario(config).run()
+        deep_mj = result.node("node1").mcu_by_state_mj.get(
+            "deep_sleep", 0.0)
+        assert deep_mj == 0.0
+
+    def test_time_partition_still_exact(self):
+        scenario, _ = self.run(2.0)
+        node = scenario.nodes[0]
+        assert node.mcu.ledger.ticks_in() == seconds(6.0)

@@ -1,0 +1,169 @@
+"""Whole-stack energy cross-checks against closed-form expectations.
+
+The simulator is event-driven, but in steady state the paper's
+workloads have closed-form energy: per cycle the radio spends one
+beacon window at RX current plus (if transmitting) one ShockBurst event
+at TX current, and the MCU spends calibrated task times.  These tests
+verify the *simulated* energy matches that arithmetic — i.e. nothing in
+the stack double-books, leaks or drops energy.
+"""
+
+import pytest
+
+from conftest import run_quick
+from repro.core.losses import RadioEnergyCategory
+from repro.sim.simtime import seconds
+
+
+def radio_params(cal):
+    rx_w = cal.radio_rx_a * cal.supply_v
+    tx_w = cal.radio_tx_a * cal.supply_v
+    return rx_w, tx_w
+
+
+class TestStaticStreamingClosedForm:
+    CYCLE_S = 0.030
+    MEASURE_S = 6.0
+
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        from conftest import run_quick
+        return run_quick(app="ecg_streaming", cycle_ms=30.0,
+                         sampling_hz=205.0, num_nodes=5,
+                         measure_s=self.MEASURE_S)
+
+    def test_radio_energy_closed_form(self, outcome, cal):
+        _, result = outcome
+        node = result.node("node1")
+        rx_w, tx_w = radio_params(cal)
+        cycles = self.MEASURE_S / self.CYCLE_S
+        window_s = cal.sync.static_lead_s \
+            + cal.radio_timing.airtime_s(4 + 5) \
+            + cal.radio_timing.rx_tail_s
+        expected_mj = cycles * (window_s * rx_w
+                                + cal.radio_timing.tx_event_s(18) * tx_w) \
+            * 1e3
+        assert node.radio_mj == pytest.approx(expected_mj, rel=0.005)
+
+    def test_mcu_energy_closed_form(self, outcome, cal):
+        _, result = outcome
+        node = result.node("node1")
+        cycles = self.MEASURE_S / self.CYCLE_S
+        samples = 2 * 205.0 * self.MEASURE_S
+        costs = cal.mcu_costs
+        active_s = (cycles * costs.cycles_to_seconds(
+            costs.beacon_processing + costs.packet_preparation)
+            + samples * costs.cycles_to_seconds(costs.sample_acquisition))
+        sleep_w = cal.mcu_sleep_a * cal.supply_v
+        active_w = cal.mcu_active_a * cal.supply_v
+        expected_mj = (sleep_w * self.MEASURE_S
+                       + (active_w - sleep_w) * active_s) * 1e3
+        # Wake-up transitions add ~6 us * (cycles + sample ticks).
+        assert node.mcu_mj == pytest.approx(expected_mj, rel=0.01)
+
+    def test_rx_state_dominated_by_idle_listening(self, outcome):
+        _, result = outcome
+        node = result.node("node1")
+        assert node.loss_fraction(RadioEnergyCategory.IDLE_LISTENING) \
+            > 0.85
+
+    def test_attribution_covers_radio_total(self, outcome):
+        _, result = outcome
+        for node in result.nodes.values():
+            assert node.losses.total_j * 1e3 \
+                == pytest.approx(node.radio_mj, rel=1e-9)
+
+    def test_control_energy_is_beacon_reception(self, outcome, cal):
+        _, result = outcome
+        node = result.node("node1")
+        rx_w, _ = radio_params(cal)
+        cycles = self.MEASURE_S / self.CYCLE_S
+        beacon_air = cal.radio_timing.airtime_s(4 + 5)
+        expected_mj = cycles * beacon_air * rx_w * 1e3
+        booked = node.losses.energy_j[RadioEnergyCategory.CONTROL_RX] * 1e3
+        assert booked == pytest.approx(expected_mj, rel=0.01)
+
+
+class TestRpeakClosedForm:
+    MEASURE_S = 8.0
+
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        return run_quick(app="rpeak", cycle_ms=120.0, num_nodes=5,
+                         measure_s=self.MEASURE_S, heart_rate_bpm=75.0)
+
+    def test_radio_window_only_plus_beats(self, outcome, cal):
+        _, result = outcome
+        node = result.node("node1")
+        rx_w, tx_w = radio_params(cal)
+        cycles = self.MEASURE_S / 0.120
+        window_s = cal.sync.static_lead_s \
+            + cal.radio_timing.airtime_s(4 + 5) \
+            + cal.radio_timing.rx_tail_s
+        beats = node.traffic.data_tx
+        expected_mj = (cycles * window_s * rx_w
+                       + beats * cal.radio_timing.tx_event_s(4) * tx_w) \
+            * 1e3
+        assert node.radio_mj == pytest.approx(expected_mj, rel=0.01)
+
+    def test_beat_packets_about_2_5_per_second(self, outcome):
+        _, result = outcome
+        node = result.node("node1")
+        # 75 bpm on two channels -> 2.5 reports/s.
+        rate = node.traffic.data_tx / self.MEASURE_S
+        assert rate == pytest.approx(2.5, rel=0.2)
+
+    def test_mcu_includes_detector_cost(self, outcome, cal):
+        _, result = outcome
+        node = result.node("node1")
+        cycles = self.MEASURE_S / 0.120
+        samples = 2 * 200.0 * self.MEASURE_S
+        costs = cal.mcu_costs
+        active_s = (cycles * costs.cycles_to_seconds(
+            costs.beacon_processing)
+            + samples * costs.cycles_to_seconds(
+                costs.sample_acquisition + costs.rpeak_algorithm)
+            + node.traffic.data_tx * costs.cycles_to_seconds(
+                costs.packet_preparation))
+        sleep_w = cal.mcu_sleep_a * cal.supply_v
+        active_w = cal.mcu_active_a * cal.supply_v
+        expected_mj = (sleep_w * self.MEASURE_S
+                       + (active_w - sleep_w) * active_s) * 1e3
+        assert node.mcu_mj == pytest.approx(expected_mj, rel=0.01)
+
+
+class TestCrossScenarioInvariants:
+    def test_radio_ledger_state_partition(self):
+        """TX + RX + standby + power_down energies == total."""
+        scenario, result = run_quick(measure_s=3.0)
+        for node in scenario.nodes:
+            ledger = node.radio.ledger
+            total = ledger.energy_j()
+            by_state = sum(ledger.energy_by_state().values())
+            assert total == pytest.approx(by_state, abs=1e-15)
+
+    def test_mcu_time_partition(self):
+        scenario, _ = run_quick(measure_s=3.0)
+        for node in scenario.nodes:
+            booked = node.mcu.ledger.ticks_in()
+            assert booked == seconds(3.0)
+
+    def test_dynamic_attribution_invariant(self):
+        _, result = run_quick(mac="dynamic", app="rpeak", num_nodes=3,
+                              measure_s=3.0)
+        for node in result.nodes.values():
+            assert node.losses.total_j * 1e3 \
+                == pytest.approx(node.radio_mj, rel=1e-9)
+
+    def test_join_scenario_attribution_invariant(self):
+        _, result = run_quick(mac="dynamic", join_protocol=True,
+                              num_nodes=3, measure_s=3.0)
+        for node in result.nodes.values():
+            assert node.losses.total_j * 1e3 \
+                == pytest.approx(node.radio_mj, rel=1e-9)
+
+    def test_energy_conservation_under_skew(self):
+        _, result = run_quick(clock_skew_ppm=40.0, measure_s=3.0)
+        for node in result.nodes.values():
+            assert node.losses.total_j * 1e3 \
+                == pytest.approx(node.radio_mj, rel=1e-9)

@@ -1,0 +1,189 @@
+"""Unit tests for the discrete-event kernel and event queue."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue, SimulationError
+from repro.sim.kernel import Simulator
+from repro.sim.trace import TraceRecorder
+
+
+class TestEventQueue:
+    def test_pop_in_time_order(self):
+        queue = EventQueue()
+        queue.push(30, lambda: None, "c")
+        queue.push(10, lambda: None, "a")
+        queue.push(20, lambda: None, "b")
+        assert [queue.pop().label for _ in range(3)] == ["a", "b", "c"]
+
+    def test_same_time_is_fifo(self):
+        queue = EventQueue()
+        for label in "abcde":
+            queue.push(5, lambda: None, label)
+        assert [queue.pop().label for _ in range(5)] == list("abcde")
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None
+
+    def test_cancelled_events_are_skipped(self):
+        queue = EventQueue()
+        first = queue.push(1, lambda: None, "dead")
+        queue.push(2, lambda: None, "alive")
+        first.cancel()
+        assert queue.pop().label == "alive"
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1, lambda: None, "dead")
+        queue.push(7, lambda: None, "alive")
+        first.cancel()
+        assert queue.peek_time() == 7
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_len_counts_entries(self):
+        queue = EventQueue()
+        queue.push(1, lambda: None)
+        queue.push(2, lambda: None)
+        assert len(queue) == 2
+
+    def test_clear(self):
+        queue = EventQueue()
+        queue.push(1, lambda: None)
+        queue.clear()
+        assert queue.pop() is None
+
+    def test_event_cancel_flag(self):
+        event = Event(time=0, seq=0, callback=lambda: None)
+        assert not event.cancelled
+        event.cancel()
+        assert event.cancelled
+
+
+class TestSimulatorScheduling:
+    def test_clock_starts_at_zero(self):
+        assert Simulator().now == 0
+
+    def test_after_schedules_relative(self):
+        sim = Simulator()
+        fired = []
+        sim.after(100, lambda: fired.append(sim.now))
+        sim.run_until(200)
+        assert fired == [100]
+
+    def test_at_schedules_absolute(self):
+        sim = Simulator()
+        fired = []
+        sim.at(150, lambda: fired.append(sim.now))
+        sim.run_until(200)
+        assert fired == [150]
+
+    def test_scheduling_in_the_past_raises(self):
+        sim = Simulator()
+        sim.after(10, lambda: None)
+        sim.run_until(50)
+        with pytest.raises(SimulationError):
+            sim.at(20, lambda: None)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(SimulationError):
+            Simulator().after(-1, lambda: None)
+
+    def test_call_soon_runs_after_queued_same_time(self):
+        sim = Simulator()
+        order = []
+        sim.at(10, lambda: order.append("first"))
+
+        def second():
+            order.append("second")
+            sim.call_soon(lambda: order.append("third"))
+
+        sim.at(10, second)
+        sim.run_until(10)
+        assert order == ["first", "second", "third"]
+
+    def test_run_until_advances_clock_to_horizon(self):
+        sim = Simulator()
+        sim.run_until(1_000)
+        assert sim.now == 1_000
+
+    def test_run_until_backwards_raises(self):
+        sim = Simulator()
+        sim.run_until(100)
+        with pytest.raises(SimulationError):
+            sim.run_until(50)
+
+    def test_events_beyond_horizon_not_dispatched(self):
+        sim = Simulator()
+        fired = []
+        sim.at(500, lambda: fired.append(1))
+        sim.run_until(499)
+        assert fired == []
+        sim.run_until(500)
+        assert fired == [1]
+
+    def test_run_all_drains_queue(self):
+        sim = Simulator()
+        fired = []
+        sim.at(5, lambda: fired.append("a"))
+        sim.at(9, lambda: fired.append("b"))
+        sim.run_all()
+        assert fired == ["a", "b"]
+        assert sim.now == 9
+
+    def test_run_all_event_limit(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.after(1, reschedule)
+
+        sim.after(1, reschedule)
+        with pytest.raises(SimulationError):
+            sim.run_all(max_events=100)
+
+    def test_exception_in_callback_is_annotated(self):
+        sim = Simulator()
+
+        def boom():
+            raise ValueError("inner failure")
+
+        sim.at(10, boom, label="exploding")
+        with pytest.raises(SimulationError, match="exploding"):
+            sim.run_until(10)
+
+    def test_end_hooks_run_at_horizon(self):
+        sim = Simulator()
+        seen = []
+        sim.add_end_hook(lambda: seen.append(sim.now))
+        sim.run_until(1234)
+        assert seen == [1234]
+
+    def test_events_dispatched_counter(self):
+        sim = Simulator()
+        for t in (1, 2, 3):
+            sim.at(t, lambda: None)
+        sim.run_until(10)
+        assert sim.events_dispatched == 3
+
+    def test_trace_records_dispatches(self):
+        trace = TraceRecorder()
+        sim = Simulator(trace=trace)
+        sim.at(10, lambda: None, label="tick")
+        sim.run_until(10)
+        records = trace.filter(source="kernel")
+        assert len(records) == 1
+        assert records[0].detail == "tick"
+
+
+class TestDeterminism:
+    def test_same_seed_same_rng_sequence(self):
+        first = Simulator(seed=42)
+        second = Simulator(seed=42)
+        a = [first.rng.stream("x").random() for _ in range(5)]
+        b = [second.rng.stream("x").random() for _ in range(5)]
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = Simulator(seed=1).rng.stream("x").random()
+        b = Simulator(seed=2).rng.stream("x").random()
+        assert a != b

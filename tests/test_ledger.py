@@ -1,0 +1,173 @@
+"""Unit tests for power states and the time-in-state energy ledger."""
+
+import pytest
+
+from repro.core.ledger import PowerStateLedger
+from repro.core.states import PowerState, PowerStateTable
+from repro.sim.kernel import Simulator
+from repro.sim.simtime import seconds
+
+
+def make_table():
+    return PowerStateTable([
+        PowerState("on", 10e-3),
+        PowerState("off", 1e-3),
+    ])
+
+
+def make_ledger(sim, initial="off", supply=2.0):
+    return PowerStateLedger(sim, "dev", make_table(), supply, initial)
+
+
+class TestPowerState:
+    def test_power_at_supply(self):
+        state = PowerState("rx", 24.82e-3)
+        assert state.power_w(2.8) == pytest.approx(69.496e-3)
+
+    def test_negative_current_rejected(self):
+        with pytest.raises(ValueError):
+            PowerState("bad", -1e-3)
+
+    def test_table_lookup(self):
+        table = make_table()
+        assert table["on"].current_a == 10e-3
+        assert "off" in table
+        assert "standby" not in table
+
+    def test_table_unknown_state_raises_with_known_list(self):
+        with pytest.raises(KeyError, match="off"):
+            make_table()["nope"]
+
+    def test_table_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            PowerStateTable([PowerState("x", 0), PowerState("x", 1)])
+
+    def test_table_empty_rejected(self):
+        with pytest.raises(ValueError):
+            PowerStateTable([])
+
+    def test_table_iteration(self):
+        names = sorted(s.name for s in make_table())
+        assert names == ["off", "on"]
+
+
+class TestLedgerAccounting:
+    def test_initial_state(self, sim):
+        ledger = make_ledger(sim)
+        assert ledger.state == "off"
+
+    def test_energy_formula_single_state(self, sim):
+        ledger = make_ledger(sim, initial="on", supply=2.0)
+        sim.run_until(seconds(10.0))
+        # E = I * V * t = 10 mA * 2 V * 10 s = 0.2 J
+        assert ledger.energy_j() == pytest.approx(0.2)
+
+    def test_energy_split_across_transition(self, sim):
+        ledger = make_ledger(sim, initial="off", supply=2.0)
+        sim.at(seconds(4.0), lambda: ledger.transition("on"))
+        sim.run_until(seconds(10.0))
+        expected = 1e-3 * 2.0 * 4.0 + 10e-3 * 2.0 * 6.0
+        assert ledger.energy_j() == pytest.approx(expected)
+        assert ledger.seconds_in("off") == pytest.approx(4.0)
+        assert ledger.seconds_in("on") == pytest.approx(6.0)
+
+    def test_time_sums_to_horizon(self, sim):
+        ledger = make_ledger(sim)
+        for t, state in [(1, "on"), (3, "off"), (7, "on")]:
+            sim.at(seconds(float(t)),
+                   lambda s=state: ledger.transition(s))
+        sim.run_until(seconds(20.0))
+        assert ledger.ticks_in() == seconds(20.0)
+
+    def test_open_interval_included_in_queries(self, sim):
+        ledger = make_ledger(sim, initial="on")
+        sim.run_until(seconds(5.0))
+        # close() ran via the end hook, but query again mid-flight:
+        ledger.transition("off")
+        assert ledger.seconds_in("on") == pytest.approx(5.0)
+
+    def test_invalid_state_rejected(self, sim):
+        with pytest.raises(KeyError):
+            make_ledger(sim).transition("warp")
+
+    def test_invalid_supply_rejected(self, sim):
+        with pytest.raises(ValueError):
+            make_ledger(sim, supply=0.0)
+
+    def test_charge_is_energy_over_voltage(self, sim):
+        ledger = make_ledger(sim, initial="on", supply=2.0)
+        sim.run_until(seconds(3.0))
+        assert ledger.charge_c() == pytest.approx(ledger.energy_j() / 2.0)
+
+    def test_energy_mj_unit(self, sim):
+        ledger = make_ledger(sim, initial="on", supply=2.0)
+        sim.run_until(seconds(1.0))
+        assert ledger.energy_mj() == pytest.approx(1e3 * ledger.energy_j())
+
+    def test_transitions_counter(self, sim):
+        ledger = make_ledger(sim)
+        ledger.transition("on")
+        ledger.transition("off")
+        assert ledger.transitions == 2
+
+
+class TestLedgerTags:
+    def test_retag_splits_state_time(self, sim):
+        ledger = make_ledger(sim, initial="on")
+        sim.at(seconds(2.0), lambda: ledger.retag("listen"))
+        sim.run_until(seconds(5.0))
+        by_tag = ledger.energy_by_tag()
+        assert by_tag["on"] == pytest.approx(10e-3 * 2.0 * 2.0)
+        assert by_tag["listen"] == pytest.approx(10e-3 * 2.0 * 3.0)
+
+    def test_tag_defaults_to_state_name(self, sim):
+        ledger = make_ledger(sim)
+        ledger.transition("on")
+        assert ledger.tag == "on"
+
+    def test_state_total_is_sum_over_tags(self, sim):
+        ledger = make_ledger(sim, initial="on")
+        sim.at(seconds(1.0), lambda: ledger.retag("a"))
+        sim.at(seconds(2.0), lambda: ledger.retag("b"))
+        sim.run_until(seconds(4.0))
+        total = ledger.energy_j(state="on")
+        by_tag = sum(ledger.energy_j(state="on", tag=t)
+                     for t in ("on", "a", "b"))
+        assert total == pytest.approx(by_tag)
+
+    def test_filter_by_tag_across_states(self, sim):
+        ledger = make_ledger(sim, initial="off")
+        sim.at(seconds(1.0), lambda: ledger.transition("on", tag="work"))
+        sim.at(seconds(2.0), lambda: ledger.transition("off", tag="work"))
+        sim.run_until(seconds(3.0))
+        assert ledger.seconds_in(tag="work") == pytest.approx(2.0)
+
+
+class TestLedgerLifecycle:
+    def test_close_is_idempotent(self, sim):
+        ledger = make_ledger(sim, initial="on")
+        sim.run_until(seconds(2.0))
+        before = ledger.energy_j()
+        ledger.close()
+        ledger.close()
+        assert ledger.energy_j() == pytest.approx(before)
+
+    def test_reset_clears_history(self, sim):
+        ledger = make_ledger(sim, initial="on")
+        sim.run_until(seconds(2.0))
+        ledger.reset()
+        sim.run_until(seconds(5.0))
+        assert ledger.seconds_in("on") == pytest.approx(3.0)
+
+    def test_reset_preserves_state(self, sim):
+        ledger = make_ledger(sim, initial="on")
+        ledger.reset()
+        assert ledger.state == "on"
+
+    def test_average_power(self, sim):
+        ledger = make_ledger(sim, initial="on", supply=2.0)
+        sim.run_until(seconds(4.0))
+        assert ledger.average_power_w() == pytest.approx(10e-3 * 2.0)
+
+    def test_average_power_zero_horizon(self, sim):
+        assert make_ledger(sim).average_power_w() == 0.0

@@ -1,0 +1,173 @@
+"""Unit tests for the loss taxonomy and the report types/rendering."""
+
+import pytest
+
+from repro.core.losses import (
+    LossAccountant,
+    RadioEnergyCategory,
+    WASTE_CATEGORIES,
+)
+from repro.core.report import (
+    NetworkEnergyResult,
+    NodeEnergyResult,
+    TrafficCounters,
+    render_loss_breakdown,
+    render_table,
+)
+
+
+class TestLossAccountant:
+    def test_book_and_snapshot(self):
+        accountant = LossAccountant()
+        accountant.book(RadioEnergyCategory.DATA_TX, 1e-3, frames=2)
+        snap = accountant.snapshot()
+        assert snap.energy_j[RadioEnergyCategory.DATA_TX] == 1e-3
+        assert snap.frames[RadioEnergyCategory.DATA_TX] == 2
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ValueError):
+            LossAccountant().book(RadioEnergyCategory.DATA_RX, -1.0)
+
+    def test_finalize_books_idle_residual(self):
+        accountant = LossAccountant()
+        accountant.book(RadioEnergyCategory.CONTROL_RX, 3e-3)
+        accountant.finalize(total_rx_state_j=10e-3)
+        snap = accountant.snapshot()
+        assert snap.energy_j[RadioEnergyCategory.IDLE_LISTENING] \
+            == pytest.approx(7e-3)
+
+    def test_finalize_with_inconsistent_attribution_raises(self):
+        accountant = LossAccountant()
+        accountant.book(RadioEnergyCategory.DATA_RX, 5e-3)
+        with pytest.raises(ValueError):
+            accountant.finalize(total_rx_state_j=1e-3)
+
+    def test_finalize_tolerates_float_rounding(self):
+        accountant = LossAccountant()
+        accountant.book(RadioEnergyCategory.DATA_RX, 1e-3)
+        accountant.finalize(total_rx_state_j=1e-3 - 1e-12)
+        snap = accountant.snapshot()
+        assert snap.energy_j[RadioEnergyCategory.IDLE_LISTENING] >= 0.0
+
+    def test_tx_collision_excluded_from_rx_residual(self):
+        accountant = LossAccountant()
+        accountant.book_collision_tx(2e-3)
+        accountant.book(RadioEnergyCategory.COLLISION, 1e-3)  # RX side
+        accountant.finalize(total_rx_state_j=4e-3)
+        snap = accountant.snapshot()
+        # Idle = 4 - 1 (RX-side collision only).
+        assert snap.energy_j[RadioEnergyCategory.IDLE_LISTENING] \
+            == pytest.approx(3e-3)
+        assert snap.energy_j[RadioEnergyCategory.COLLISION] \
+            == pytest.approx(3e-3)
+
+
+class TestLossBreakdown:
+    def make(self):
+        accountant = LossAccountant()
+        accountant.book(RadioEnergyCategory.DATA_TX, 4e-3)
+        accountant.book(RadioEnergyCategory.DATA_RX, 1e-3)
+        accountant.book(RadioEnergyCategory.OVERHEARING, 2e-3)
+        accountant.book(RadioEnergyCategory.CONTROL_RX, 3e-3)
+        return accountant.snapshot()
+
+    def test_total(self):
+        assert self.make().total_j == pytest.approx(10e-3)
+
+    def test_useful_vs_waste(self):
+        snap = self.make()
+        assert snap.useful_j == pytest.approx(5e-3)
+        assert snap.waste_j == pytest.approx(5e-3)
+
+    def test_fraction(self):
+        snap = self.make()
+        assert snap.fraction(RadioEnergyCategory.DATA_TX) \
+            == pytest.approx(0.4)
+
+    def test_fraction_empty(self):
+        snap = LossAccountant().snapshot()
+        assert snap.fraction(RadioEnergyCategory.DATA_TX) == 0.0
+
+    def test_waste_categories_cover_section_4_2(self):
+        names = {c.value for c in WASTE_CATEGORIES}
+        # The paper's four waste sources plus control TX.
+        assert {"collision", "idle_listening", "overhearing",
+                "control_rx", "control_tx"} == names
+
+
+class TestReportTypes:
+    def make_node(self, losses=None):
+        return NodeEnergyResult(
+            node_id="node1", horizon_s=60.0,
+            radio_mj=500.0, mcu_mj=160.0, asic_mj=630.0,
+            radio_by_state_mj={"rx": 450.0, "tx": 50.0},
+            mcu_by_state_mj={"active": 50.0, "sleep": 110.0},
+            losses=losses,
+            traffic=TrafficCounters(data_tx=2000, control_rx=2000),
+        )
+
+    def test_total_excludes_asic(self):
+        node = self.make_node()
+        assert node.total_mj == pytest.approx(660.0)
+        assert node.total_with_asic_mj == pytest.approx(1290.0)
+
+    def test_average_power(self):
+        assert self.make_node().average_power_mw == pytest.approx(11.0)
+
+    def test_traffic_totals(self):
+        traffic = TrafficCounters(data_tx=5, control_tx=2, data_rx=1,
+                                  control_rx=3, overheard=4, corrupted=2)
+        assert traffic.total_tx == 7
+        assert traffic.total_rx == 10
+
+    def test_network_result_lookup(self):
+        node = self.make_node()
+        network = NetworkEnergyResult(horizon_s=60.0,
+                                      nodes={"node1": node})
+        assert network.node("node1") is node
+        with pytest.raises(KeyError, match="node1"):
+            network.node("ghost")
+
+    def test_network_total(self):
+        node = self.make_node()
+        network = NetworkEnergyResult(
+            horizon_s=60.0, nodes={"node1": node, "node2": node})
+        assert network.network_total_mj == pytest.approx(2 * 660.0)
+
+    def test_loss_fraction_without_losses(self):
+        assert self.make_node().loss_fraction(
+            RadioEnergyCategory.DATA_TX) == 0.0
+
+
+class TestRenderTable:
+    def test_basic_rendering(self):
+        text = render_table(["a", "bb"], [(1, 2.5), (30, 4.0)], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "2.5" in text and "30" in text
+
+    def test_float_formatting_one_decimal(self):
+        text = render_table(["x"], [(540.6123,)])
+        assert "540.6" in text
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [(1,)])
+
+    def test_loss_breakdown_rendering(self):
+        accountant = LossAccountant()
+        accountant.book(RadioEnergyCategory.DATA_TX, 1e-3)
+        node = NodeEnergyResult(
+            node_id="n", horizon_s=10.0, radio_mj=1.0, mcu_mj=0.5,
+            asic_mj=0.0, radio_by_state_mj={}, mcu_by_state_mj={},
+            losses=accountant.snapshot())
+        text = render_loss_breakdown(node)
+        assert "data_tx" in text
+        assert "100.0%" in text
+
+    def test_loss_breakdown_without_attribution(self):
+        node = NodeEnergyResult(
+            node_id="n", horizon_s=10.0, radio_mj=1.0, mcu_mj=0.5,
+            asic_mj=0.0, radio_by_state_mj={}, mcu_by_state_mj={})
+        assert "no loss attribution" in render_loss_breakdown(node)

@@ -1,0 +1,210 @@
+"""Unit tests for MAC messages, slot schedules and sync policies."""
+
+import pytest
+
+from repro.core.calibration import DEFAULT_CALIBRATION
+from repro.hw.frames import BROADCAST, FrameKind
+from repro.mac.messages import (
+    BeaconPayload,
+    beacon_payload_bytes,
+    make_beacon,
+    make_data,
+    make_slot_request,
+)
+from repro.mac.slots import (
+    SlotSchedule,
+    dynamic_cycle_ticks,
+    dynamic_slot_offset,
+    static_slot_offset,
+)
+from repro.mac.sync import (
+    CycleProportionalLead,
+    DriftTrackingLead,
+    FixedLead,
+    paper_dynamic_policy,
+    paper_static_policy,
+)
+from repro.sim.simtime import microseconds, milliseconds
+
+
+class TestMessages:
+    def test_beacon_payload_size(self):
+        assert beacon_payload_bytes(5) == 9  # 4 header + 1/slot
+        assert beacon_payload_bytes(1) == 5
+
+    def test_beacon_frame(self):
+        payload = BeaconPayload(cycle_ticks=milliseconds(30),
+                                slot_map={1: "node1"}, num_slots=5,
+                                sequence=7)
+        frame = make_beacon("bs", payload)
+        assert frame.kind is FrameKind.BEACON
+        assert frame.dest == BROADCAST
+        assert frame.payload_bytes == 9
+
+    def test_beacon_payload_lookups(self):
+        payload = BeaconPayload(cycle_ticks=1, num_slots=3, sequence=0,
+                                slot_map={1: "a", 3: "c"})
+        assert payload.owner_of(1) == "a"
+        assert payload.owner_of(2) is None
+        assert payload.slot_of("c") == 3
+        assert payload.slot_of("x") is None
+        assert payload.free_slots() == (2,)
+
+    def test_slot_request_frame(self):
+        frame = make_slot_request("node9", "bs", wanted_slot=2)
+        assert frame.kind is FrameKind.SLOT_REQUEST
+        assert frame.dest == "bs"
+        assert frame.payload.requester == "node9"
+        assert frame.payload.wanted_slot == 2
+        assert frame.payload_bytes == 2
+
+    def test_data_frame(self):
+        frame = make_data("node1", "bs", 18, {"x": 1})
+        assert frame.kind is FrameKind.DATA
+        assert frame.payload_bytes == 18
+
+    def test_negative_slots_rejected(self):
+        with pytest.raises(ValueError):
+            beacon_payload_bytes(-1)
+
+
+class TestSlotSchedule:
+    def test_assign_and_lookup(self):
+        schedule = SlotSchedule(3)
+        schedule.assign(2, "a")
+        assert schedule.owner_of(2) == "a"
+        assert schedule.slot_of("a") == 2
+        assert schedule.free_slots() == [1, 3]
+        assert schedule.assigned_count == 1
+
+    def test_reassign_same_owner_is_ok(self):
+        schedule = SlotSchedule(2)
+        schedule.assign(1, "a")
+        schedule.assign(1, "a")
+        assert schedule.owner_of(1) == "a"
+
+    def test_conflicting_assign_raises(self):
+        schedule = SlotSchedule(2)
+        schedule.assign(1, "a")
+        with pytest.raises(ValueError):
+            schedule.assign(1, "b")
+        with pytest.raises(ValueError):
+            schedule.assign(2, "a")
+
+    def test_release(self):
+        schedule = SlotSchedule(2)
+        schedule.assign(1, "a")
+        assert schedule.release("a") == 1
+        assert schedule.release("a") is None
+        assert schedule.free_slots() == [1, 2]
+
+    def test_full(self):
+        schedule = SlotSchedule(1)
+        assert not schedule.is_full
+        schedule.assign(1, "a")
+        assert schedule.is_full
+
+    def test_grow(self):
+        schedule = SlotSchedule(1)
+        assert schedule.grow() == 2
+        assert schedule.num_slots == 2
+
+    def test_bounds(self):
+        schedule = SlotSchedule(2)
+        with pytest.raises(ValueError):
+            schedule.owner_of(0)
+        with pytest.raises(ValueError):
+            schedule.assign(3, "a")
+        with pytest.raises(ValueError):
+            SlotSchedule(0)
+
+    def test_as_map_is_copy(self):
+        schedule = SlotSchedule(2)
+        schedule.assign(1, "a")
+        snapshot = schedule.as_map()
+        snapshot[2] = "b"
+        assert schedule.owner_of(2) is None
+
+
+class TestSlotGeometry:
+    def test_static_offsets_divide_cycle(self):
+        cycle = milliseconds(30)
+        # 5 slots + beacon slot -> 5 ms each.
+        assert static_slot_offset(cycle, 5, 1) == milliseconds(5)
+        assert static_slot_offset(cycle, 5, 5) == milliseconds(25)
+
+    def test_static_offset_bounds(self):
+        with pytest.raises(ValueError):
+            static_slot_offset(milliseconds(30), 5, 0)
+        with pytest.raises(ValueError):
+            static_slot_offset(milliseconds(30), 5, 6)
+
+    def test_dynamic_offsets(self):
+        assert dynamic_slot_offset(milliseconds(10), 1) == milliseconds(10)
+        assert dynamic_slot_offset(milliseconds(10), 3) == milliseconds(30)
+        with pytest.raises(ValueError):
+            dynamic_slot_offset(milliseconds(10), 0)
+
+    def test_dynamic_cycle_matches_paper(self):
+        # Table 2: 1 node -> 20 ms ... 5 nodes -> 60 ms at 10 ms slots.
+        slot = milliseconds(10)
+        for nodes, cycle_ms in [(1, 20), (2, 30), (3, 40), (4, 50),
+                                (5, 60)]:
+            assert dynamic_cycle_ticks(slot, nodes) \
+                == milliseconds(cycle_ms)
+
+    def test_dynamic_cycle_validation(self):
+        with pytest.raises(ValueError):
+            dynamic_cycle_ticks(milliseconds(10), -1)
+
+
+class TestSyncPolicies:
+    def test_fixed_lead(self):
+        policy = FixedLead(microseconds(3112))
+        assert policy.lead_ticks(milliseconds(30), milliseconds(30)) \
+            == microseconds(3112)
+        assert policy.lead_ticks(milliseconds(120), milliseconds(120)) \
+            == microseconds(3112)
+
+    def test_cycle_proportional(self):
+        policy = CycleProportionalLead(microseconds(2048), 0.017)
+        short = policy.lead_ticks(milliseconds(20), milliseconds(20))
+        long = policy.lead_ticks(milliseconds(60), milliseconds(60))
+        assert long - short == pytest.approx(0.017 * milliseconds(40),
+                                             abs=2)
+
+    def test_drift_tracking_scales_with_elapsed(self):
+        policy = DriftTrackingLead(tolerance_ppm=50.0,
+                                   margin_ticks=microseconds(250))
+        one_cycle = policy.lead_ticks(milliseconds(30), milliseconds(30))
+        three_missed = policy.lead_ticks(milliseconds(30),
+                                         milliseconds(90))
+        assert three_missed > one_cycle
+        # 2 * 50 ppm * 30 ms = 3 us of drift guard.
+        assert one_cycle == microseconds(250) + microseconds(3)
+
+    def test_drift_tracking_far_below_paper_window(self):
+        """The physical guard is an order of magnitude tighter than the
+        platform's fitted window — the headroom ablation A1 quantifies."""
+        physical = DriftTrackingLead(tolerance_ppm=50.0)
+        paper = paper_static_policy(DEFAULT_CALIBRATION)
+        cycle = milliseconds(30)
+        assert physical.lead_ticks(cycle, cycle) \
+            < paper.lead_ticks(cycle, cycle) / 5
+
+    def test_paper_policies_from_calibration(self):
+        static = paper_static_policy(DEFAULT_CALIBRATION)
+        dynamic = paper_dynamic_policy(DEFAULT_CALIBRATION)
+        assert static.lead_ticks(milliseconds(30), 0) == 3_112_000
+        assert dynamic.lead_ticks(milliseconds(20), 0) \
+            == 2_048_000 + round(0.017 * milliseconds(20))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FixedLead(-1)
+        with pytest.raises(ValueError):
+            CycleProportionalLead(-1, 0.0)
+        with pytest.raises(ValueError):
+            CycleProportionalLead(0, -0.1)
+        with pytest.raises(ValueError):
+            DriftTrackingLead(tolerance_ppm=-1.0)

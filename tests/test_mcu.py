@@ -1,0 +1,115 @@
+"""Unit tests for the MSP430 power model."""
+
+import pytest
+
+from repro.hw.mcu import ACTIVE, SLEEP, Msp430
+from repro.sim.simtime import microseconds, seconds
+
+
+def make_mcu(sim, cal):
+    return Msp430(sim, cal, name="t.mcu")
+
+
+class TestStates:
+    def test_starts_asleep(self, sim, cal):
+        assert make_mcu(sim, cal).is_sleeping
+
+    def test_wake_returns_6us_latency(self, sim, cal):
+        mcu = make_mcu(sim, cal)
+        assert mcu.wake() == microseconds(6)
+        assert not mcu.is_sleeping
+
+    def test_wake_when_active_is_free(self, sim, cal):
+        mcu = make_mcu(sim, cal)
+        mcu.wake()
+        assert mcu.wake() == 0
+
+    def test_sleep_transitions(self, sim, cal):
+        mcu = make_mcu(sim, cal)
+        mcu.wake()
+        mcu.sleep()
+        assert mcu.is_sleeping
+
+    def test_sleep_idempotent(self, sim, cal):
+        mcu = make_mcu(sim, cal)
+        mcu.sleep()
+        assert mcu.is_sleeping
+
+    def test_begin_task_while_sleeping_raises(self, sim, cal):
+        with pytest.raises(RuntimeError):
+            make_mcu(sim, cal).begin_task("oops")
+
+    def test_wakeups_counted(self, sim, cal):
+        mcu = make_mcu(sim, cal)
+        mcu.wake()
+        mcu.sleep()
+        mcu.wake()
+        assert mcu.wakeups == 2
+
+
+class TestCycleConversion:
+    def test_8mhz_cycle_is_125ns(self, sim, cal):
+        assert make_mcu(sim, cal).cycles_to_ticks(1) == 125
+
+    def test_beacon_processing_duration(self, sim, cal):
+        mcu = make_mcu(sim, cal)
+        ticks = mcu.cycles_to_ticks(cal.mcu_costs.beacon_processing)
+        assert ticks == pytest.approx(seconds(2.24e-3), abs=125)
+
+    def test_negative_cycles_rejected(self, sim, cal):
+        with pytest.raises(ValueError):
+            make_mcu(sim, cal).cycles_to_ticks(-1)
+
+    def test_account_cycles(self, sim, cal):
+        mcu = make_mcu(sim, cal)
+        mcu.account_cycles(100)
+        mcu.account_cycles(50)
+        assert mcu.cycles_executed == 150
+
+
+class TestEnergy:
+    def test_sleep_only_energy(self, sim, cal):
+        mcu = make_mcu(sim, cal)
+        sim.run_until(seconds(60.0))
+        # 0.66 mA * 2.8 V * 60 s = 110.88 mJ: the floor of every paper
+        # MCU column.
+        assert mcu.energy_mj() == pytest.approx(110.88)
+
+    def test_active_only_energy(self, sim, cal):
+        mcu = make_mcu(sim, cal)
+        mcu.wake()
+        sim.run_until(seconds(60.0))
+        assert mcu.energy_mj() == pytest.approx(2.0e-3 * 2.8 * 60 * 1e3,
+                                                rel=1e-6)
+
+    def test_mixed_energy(self, sim, cal):
+        mcu = make_mcu(sim, cal)
+        sim.at(seconds(10.0), mcu.wake)
+        sim.at(seconds(20.0), mcu.sleep)
+        sim.run_until(seconds(30.0))
+        expected = (0.66e-3 * 20 + 2.0e-3 * 10) * 2.8 * 1e3
+        assert mcu.energy_mj() == pytest.approx(expected)
+
+    def test_active_seconds(self, sim, cal):
+        mcu = make_mcu(sim, cal)
+        sim.at(seconds(1.0), mcu.wake)
+        sim.at(seconds(3.5), mcu.sleep)
+        sim.run_until(seconds(5.0))
+        assert mcu.active_seconds() == pytest.approx(2.5)
+
+    def test_reset_measurement(self, sim, cal):
+        mcu = make_mcu(sim, cal)
+        mcu.wake()
+        mcu.account_cycles(1000)
+        sim.run_until(seconds(2.0))
+        mcu.reset_measurement()
+        assert mcu.cycles_executed == 0
+        assert mcu.energy_mj() == 0.0
+        sim.run_until(seconds(3.0))
+        # Still active after reset: 1 s of active current.
+        assert mcu.energy_mj() == pytest.approx(2.0e-3 * 2.8 * 1e3)
+
+    def test_ledger_states_named(self, sim, cal):
+        mcu = make_mcu(sim, cal)
+        assert ACTIVE in mcu.ledger.table
+        assert SLEEP in mcu.ledger.table

@@ -1,0 +1,153 @@
+"""Tests for multi-BAN coexistence on one channel."""
+
+import pytest
+
+from repro.net.multi import MultiBanScenario
+from repro.net.scenario import BanScenario, BanScenarioConfig
+from repro.phy.topology import ExplicitLinks
+
+
+def config(cycle_ms=30.0, sampling_hz=205.0, measure_s=3.0, **kw):
+    return BanScenarioConfig(mac="static", app="ecg_streaming",
+                             num_nodes=2, cycle_ms=cycle_ms,
+                             sampling_hz=sampling_hz,
+                             measure_s=measure_s, **kw)
+
+
+class TestConstruction:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultiBanScenario([])
+
+    def test_mismatched_horizons_rejected(self):
+        with pytest.raises(ValueError, match="measure_s"):
+            MultiBanScenario([config(measure_s=3.0),
+                              config(measure_s=5.0)])
+
+    def test_prefixed_addresses(self):
+        multi = MultiBanScenario([config(), config()])
+        ids = [node.node_id for ban in multi.bans for node in ban.nodes]
+        assert ids == ["ban1.node1", "ban1.node2",
+                       "ban2.node1", "ban2.node2"]
+        assert multi.bans[0].base_station.address == "ban1.base_station"
+
+    def test_shared_sim_and_channel(self):
+        multi = MultiBanScenario([config(), config()])
+        assert multi.bans[0].sim is multi.bans[1].sim
+        assert multi.bans[0].channel is multi.bans[1].channel
+
+    def test_scenario_sim_channel_pairing_enforced(self):
+        from repro.sim.kernel import Simulator
+        with pytest.raises(ValueError):
+            BanScenario(config(), sim=Simulator())
+
+
+class TestCoexistence:
+    def test_both_bans_deliver_data(self):
+        multi = MultiBanScenario([config(), config(cycle_ms=40.0,
+                                                   sampling_hz=150.0)])
+        results = multi.run()
+        for ban_name, result in results.items():
+            total_tx = sum(n.traffic.data_tx
+                           for n in result.nodes.values())
+            assert total_tx > 0, ban_name
+
+    def test_nodes_never_sync_to_foreign_beacon(self):
+        multi = MultiBanScenario([config(), config(cycle_ms=40.0,
+                                                   sampling_hz=150.0)],
+                                 stagger_ms=7.8)
+        multi.run()
+        for index, ban in enumerate(multi.bans):
+            expected_cycle = (30.0, 40.0)[index]
+            for node in ban.nodes:
+                assert node.mac.cycle_ticks == pytest.approx(
+                    expected_cycle * 1e6)
+
+    def test_interference_produces_collisions(self):
+        # Stagger chosen so ban2's first data slot (13.33 ms into its
+        # 40 ms cycle) lands on ban1's 20 ms slot: 6.6 + 13.33 ~ 20.
+        multi = MultiBanScenario([config(measure_s=5.0),
+                                  config(cycle_ms=40.0,
+                                         sampling_hz=150.0,
+                                         measure_s=5.0)],
+                                 stagger_ms=6.6)
+        multi.run()
+        assert multi.collisions_detected > 0
+
+    def test_aligned_grids_coexist_cleanly(self):
+        """With a stagger that interleaves the schedules cleanly, two
+        same-cycle BANs share the channel with zero collisions."""
+        multi = MultiBanScenario([config(), config()], stagger_ms=7.0)
+        results = multi.run()
+        assert multi.collisions_detected == 0
+        for result in results.values():
+            for node in result.nodes.values():
+                assert node.traffic.corrupted == 0
+
+    def test_separated_bans_do_not_interact(self):
+        """Out of radio range, the two BANs are invisible to each other."""
+        links = set()
+        for ban in ("ban1", "ban2"):
+            members = [f"{ban}.base_station", f"{ban}.node1",
+                       f"{ban}.node2"]
+            for a in members:
+                for b in members:
+                    if a != b:
+                        links.add((a, b))
+        multi = MultiBanScenario([config(), config()], stagger_ms=7.8,
+                                 topology=ExplicitLinks(links))
+        results = multi.run()
+        assert multi.collisions_detected == 0
+        for result in results.values():
+            for node in result.nodes.values():
+                assert node.traffic.overheard == 0
+
+    def test_isolated_energy_matches_single_ban(self):
+        """A BAN out of range of its neighbour measures like a lone BAN."""
+        links = set()
+        for ban in ("ban1", "ban2"):
+            members = [f"{ban}.base_station", f"{ban}.node1",
+                       f"{ban}.node2"]
+            for a in members:
+                for b in members:
+                    if a != b:
+                        links.add((a, b))
+        multi = MultiBanScenario([config(), config()],
+                                 topology=ExplicitLinks(links))
+        results = multi.run()
+        single = BanScenario(config()).run()
+        lone = single.node("node1")
+        shared = results["ban1"].node("ban1.node1")
+        assert shared.radio_mj == pytest.approx(lone.radio_mj, rel=0.01)
+
+    def test_summary_renders(self):
+        multi = MultiBanScenario([config(), config()])
+        results = multi.run()
+        text = multi.interference_summary(results)
+        assert "ban1" in text and "ban2" in text
+        assert "collision" in text
+
+    def test_rf_channel_separation_restores_isolation(self):
+        """The adversarial stagger that collides co-channel BANs is
+        harmless once the networks tune to different RF channels."""
+        shared = MultiBanScenario(
+            [config(measure_s=5.0),
+             config(cycle_ms=40.0, sampling_hz=150.0, measure_s=5.0)],
+            stagger_ms=6.6)
+        shared.run()
+        assert shared.collisions_detected > 0
+
+        separated = MultiBanScenario(
+            [config(measure_s=5.0),
+             config(cycle_ms=40.0, sampling_hz=150.0, measure_s=5.0)],
+            stagger_ms=6.6, rf_channels=(0, 40))
+        results = separated.run()
+        assert separated.collisions_detected == 0
+        for result in results.values():
+            for node in result.nodes.values():
+                assert node.traffic.overheard == 0
+                assert node.traffic.corrupted == 0
+
+    def test_rf_channel_count_validation(self):
+        with pytest.raises(ValueError, match="rf_channels"):
+            MultiBanScenario([config(), config()], rf_channels=(0,))

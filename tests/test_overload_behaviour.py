@@ -1,0 +1,106 @@
+"""Overload and saturation behaviour: what happens when the platform is
+asked for more than it can do.
+
+These pin the *defined* behaviour at the edges — MCU saturation under
+impossible sampling loads, radio-slot starvation, and queue bounds —
+so regressions cannot silently change failure modes.
+"""
+
+import pytest
+
+from repro.core.calibration import DEFAULT_CALIBRATION
+from repro.hw.mcu import Msp430
+from repro.net.scenario import BanScenario, BanScenarioConfig
+from repro.sim.kernel import Simulator
+from repro.sim.simtime import milliseconds, seconds
+from repro.tinyos.scheduler import TaskScheduler
+from repro.tinyos.timers import VirtualTimer
+
+CAL = DEFAULT_CALIBRATION
+
+
+class TestMcuSaturation:
+    def test_backlog_grows_when_task_exceeds_period(self):
+        """A 2 ms task posted every 1 ms: the queue grows, tasks still
+        run in order, and the MCU never sleeps (100% duty)."""
+        sim = Simulator()
+        mcu = Msp430(sim, CAL)
+        scheduler = TaskScheduler(sim, mcu)
+        completed = []
+        timer = VirtualTimer(
+            sim, lambda: scheduler.post(
+                lambda: completed.append(sim.now), 16_000))  # 2 ms
+        timer.start_periodic(milliseconds(1))
+        sim.run_until(seconds(0.1))
+        # ~100 posts, ~50 completions: half the load is backlogged.
+        assert 45 <= len(completed) <= 52
+        assert scheduler.pending > 40
+        assert completed == sorted(completed)
+        # Fully saturated: active the whole time after the first post.
+        assert mcu.active_seconds() == pytest.approx(0.099, abs=0.002)
+
+    def test_saturated_mcu_energy_is_active_power(self):
+        sim = Simulator()
+        mcu = Msp430(sim, CAL)
+        scheduler = TaskScheduler(sim, mcu)
+        timer = VirtualTimer(
+            sim, lambda: scheduler.post_cost_only(16_000))
+        timer.start_periodic(milliseconds(1))
+        sim.run_until(seconds(1.0))
+        ceiling = CAL.mcu_active_a * CAL.supply_v * 1.0 * 1e3
+        assert mcu.energy_mj() == pytest.approx(ceiling, rel=0.01)
+
+
+class TestRadioStarvation:
+    def test_streaming_backlog_bounded_by_drop_policy(self):
+        """Oversampled streaming cannot grow memory without bound: the
+        buffer drops oldest codes and keeps shipping full packets."""
+        config = BanScenarioConfig(mac="static", app="ecg_streaming",
+                                   num_nodes=1, cycle_ms=120.0,
+                                   sampling_hz=400.0, measure_s=5.0)
+        scenario = BanScenario(config)
+        result = scenario.run()
+        app = scenario.nodes[0].app
+        assert app.codes_dropped > 0
+        assert app.buffered_codes <= app._buffer.maxlen
+        # The link still carries one full packet per cycle.
+        cycles = 5.0 / 0.120
+        assert result.node("node1").traffic.data_tx \
+            == pytest.approx(cycles, abs=2)
+
+    def test_rpeak_report_queue_bounded_under_beat_storm(self):
+        """At 180 bpm on two channels (6 reports/s) against a 120 ms
+        cycle (8.3 slots/s) the queue keeps up: bounded depth, nothing
+        dropped — the densest rhythm the application supports."""
+        config = BanScenarioConfig(mac="static", app="rpeak",
+                                   num_nodes=1, cycle_ms=120.0,
+                                   heart_rate_bpm=180.0, measure_s=10.0)
+        scenario = BanScenario(config)
+        scenario.run()
+        app = scenario.nodes[0].app
+        assert app.pending_reports <= 16
+        assert app.reports_dropped == 0  # capacity suffices here
+
+    def test_static_cycle_too_small_for_slots_rejected(self):
+        from repro.mac.tdma_static import StaticTdmaConfig
+        with pytest.raises(ValueError):
+            StaticTdmaConfig(cycle_ticks=5, num_slots=10)
+
+
+class TestSchedulerFairness:
+    def test_interleaved_posters_share_in_post_order(self):
+        sim = Simulator()
+        mcu = Msp430(sim, CAL)
+        scheduler = TaskScheduler(sim, mcu)
+        ran = []
+        for tick in range(10):
+            sim.at(milliseconds(tick),
+                   lambda t=tick: scheduler.post(
+                       lambda t=t: ran.append(("a", t)), 4_000))
+            sim.at(milliseconds(tick),
+                   lambda t=tick: scheduler.post(
+                       lambda t=t: ran.append(("b", t)), 4_000))
+        sim.run_until(seconds(1.0))
+        # Per tick, a precedes b; across ticks, order is chronological.
+        assert ran == [(source, tick) for tick in range(10)
+                       for source in ("a", "b")]

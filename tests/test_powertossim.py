@@ -1,0 +1,122 @@
+"""Tests for the PowerTOSSIM-style basic-block CPU estimator."""
+
+import pytest
+
+from repro.baselines.powertossim import (
+    BasicBlock,
+    BlockProgram,
+    CycleMapping,
+    build_program,
+    estimate_mcu_energy,
+    mapping_error_sweep,
+)
+from repro.net.scenario import BanScenarioConfig
+
+
+def config_for(app="ecg_streaming", **kw):
+    defaults = dict(mac="static", app=app, num_nodes=5, cycle_ms=30.0,
+                    sampling_hz=205.0 if app == "ecg_streaming" else None,
+                    measure_s=60.0)
+    defaults.update(kw)
+    return BanScenarioConfig(**defaults)
+
+
+class TestBlockProgram:
+    def test_duplicate_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            BlockProgram([BasicBlock("a", 1), BasicBlock("a", 2)])
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            BasicBlock("a", -1)
+
+    def test_counting(self):
+        program = BlockProgram([BasicBlock("a", 10)])
+        program.count("a", 3)
+        program.count("a", 2)
+        assert program.counts() == {"a": 5.0}
+
+    def test_unknown_block_rejected(self):
+        program = BlockProgram([BasicBlock("a", 10)])
+        with pytest.raises(KeyError):
+            program.count("b", 1)
+        with pytest.raises(ValueError):
+            program.count("a", -1)
+
+    def test_true_mapping_reproduces_costs(self):
+        program = BlockProgram([BasicBlock("a", 10), BasicBlock("b", 5)])
+        program.count("a", 2)
+        program.count("b", 4)
+        assert program.true_mapping().cycles_for(program.counts()) == 40
+
+    def test_mapping_missing_block(self):
+        mapping = CycleMapping({"a": 10.0})
+        with pytest.raises(KeyError):
+            mapping.cycles_for({"zzz": 1.0})
+
+
+class TestCycleMapping:
+    def test_perturbation_bounds(self):
+        mapping = CycleMapping({f"b{i}": 100.0 for i in range(50)})
+        noisy = mapping.perturbed(0.2, seed=1)
+        for name, cycles in noisy.cycles_per_block.items():
+            assert 80.0 <= cycles <= 120.0
+        values = set(noisy.cycles_per_block.values())
+        assert len(values) > 40  # per-block factors differ
+
+    def test_perturbation_deterministic(self):
+        mapping = CycleMapping({"a": 10.0, "b": 20.0})
+        assert mapping.perturbed(0.1, seed=3).cycles_per_block \
+            == mapping.perturbed(0.1, seed=3).cycles_per_block
+
+    def test_zero_error_is_identity(self):
+        mapping = CycleMapping({"a": 10.0})
+        assert mapping.perturbed(0.0).cycles_per_block == {"a": 10.0}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CycleMapping({"a": 1.0}).perturbed(1.5)
+
+
+class TestEstimation:
+    def test_perfect_mapping_matches_paper_model(self):
+        """With an exact binary mapping, block counting reproduces the
+        paper's MCU figure (minus wake-up transitions)."""
+        config = config_for()
+        program = build_program(config)
+        estimate = estimate_mcu_energy(config, program.true_mapping(),
+                                       program)
+        # Paper sim for Table 1 row 1: 161.2 mJ; block counting misses
+        # only the 6 us wake-ups (~0.5 mJ over 60 s).
+        assert estimate == pytest.approx(161.2, rel=0.01)
+
+    def test_rpeak_program_includes_algorithm_block(self):
+        program = build_program(config_for(app="rpeak", cycle_ms=120.0))
+        names = {block.name for block in program.blocks}
+        assert "rpeak_algorithm" in names
+        counts = program.counts()
+        assert counts["rpeak_algorithm"] == counts["adc_sample"]
+        assert counts["packet_prepare"] < counts["beacon_handler"]
+
+    def test_error_grows_with_mapping_degradation(self):
+        """Measured against the true-model estimate: a perfect mapping
+        is exact, a degraded one drifts (a lucky perturbation can land
+        *closer* to the hardware number, which is why the reference
+        here is the model, not the measurement)."""
+        config = config_for()
+        reference = estimate_mcu_energy(
+            config, build_program(config).true_mapping())
+        sweep = mapping_error_sweep(config, [0.0, 0.1, 0.3],
+                                    reference_mj=reference, seed=2)
+        assert sweep[0.0] == pytest.approx(0.0, abs=1e-12)
+        assert sweep[0.1] > 0.0
+        assert sweep[0.3] > sweep[0.1]
+
+    def test_block_counting_says_nothing_about_radio(self):
+        """The structural criticism: the technique only covers the MCU;
+        at Table 1 row 1 the radio is ~76% of the node budget."""
+        config = config_for()
+        mcu = estimate_mcu_energy(config,
+                                  build_program(config).true_mapping())
+        radio_real = 540.6
+        assert mcu < 0.35 * (mcu + radio_real)

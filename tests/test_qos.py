@@ -1,0 +1,104 @@
+"""Tests for QoS latency measurement and the Pareto tooling."""
+
+import pytest
+
+from repro.analysis.qos import (
+    DesignPoint,
+    LatencyStats,
+    beat_report_latencies,
+    evaluate_rpeak_cycles,
+    pareto_front,
+    render_tradeoff,
+)
+from repro.net.scenario import BanScenario, BanScenarioConfig
+
+
+class TestLatencyStats:
+    def test_summary(self):
+        stats = LatencyStats((0.1, 0.2, 0.3, 0.4))
+        assert stats.n == 4
+        assert stats.mean == pytest.approx(0.25)
+        assert stats.maximum == 0.4
+        assert stats.percentile(0.5) == pytest.approx(0.2)
+        assert stats.percentile(1.0) == 0.4
+
+    def test_empty(self):
+        stats = LatencyStats(())
+        assert stats.mean == 0.0 and stats.maximum == 0.0
+        assert stats.percentile(0.9) == 0.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ValueError):
+            LatencyStats((1.0,)).percentile(0.0)
+
+
+class TestBeatLatency:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        out = {}
+        for cycle_ms in (30.0, 120.0):
+            config = BanScenarioConfig(mac="static", app="rpeak",
+                                       num_nodes=3, cycle_ms=cycle_ms,
+                                       measure_s=15.0)
+            scenario = BanScenario(config)
+            scenario.run()
+            out[cycle_ms] = scenario
+        return out
+
+    def test_latencies_measured(self, runs):
+        stats = beat_report_latencies(runs[120.0])
+        assert stats.n > 10
+        assert all(sample > 0 for sample in stats.samples)
+
+    def test_latency_bounded_by_cycles(self, runs):
+        """A report waits at most ~a cycle for the slot (plus a queue
+        of at most a couple of reports)."""
+        for cycle_ms, scenario in runs.items():
+            stats = beat_report_latencies(scenario)
+            assert stats.maximum < 4 * cycle_ms * 1e-3
+
+    def test_longer_cycle_means_longer_latency(self, runs):
+        fast = beat_report_latencies(runs[30.0])
+        slow = beat_report_latencies(runs[120.0])
+        assert slow.mean > 1.5 * fast.mean
+
+    def test_unknown_node_gives_empty(self, runs):
+        assert beat_report_latencies(runs[30.0], "ghost").n == 0
+
+
+class TestPareto:
+    def test_front_filters_dominated(self):
+        points = [
+            DesignPoint("a", energy_mj=10.0, latency_s=0.1),
+            DesignPoint("b", energy_mj=20.0, latency_s=0.05),
+            DesignPoint("c", energy_mj=25.0, latency_s=0.07),  # dominated by b
+            DesignPoint("d", energy_mj=5.0, latency_s=0.2),
+        ]
+        front = pareto_front(points)
+        assert [p.label for p in front] == ["d", "a", "b"]
+
+    def test_front_of_single_point(self):
+        point = DesignPoint("only", 1.0, 1.0)
+        assert pareto_front([point]) == [point]
+
+    def test_equal_points_both_survive(self):
+        a = DesignPoint("a", 1.0, 1.0)
+        b = DesignPoint("b", 1.0, 1.0)
+        assert len(pareto_front([a, b])) == 2
+
+    def test_rpeak_cycle_sweep_is_a_true_tradeoff(self):
+        """Energy falls and latency rises with the cycle, so *every*
+        swept cycle is Pareto-optimal — the knob is a clean frontier."""
+        points = evaluate_rpeak_cycles((30.0, 60.0, 120.0),
+                                       measure_s=10.0, num_nodes=3)
+        energies = [p.energy_mj for p in points]
+        latencies = [p.latency_s for p in points]
+        assert energies == sorted(energies, reverse=True)
+        assert latencies == sorted(latencies)
+        assert len(pareto_front(points)) == 3
+
+    def test_render(self):
+        points = [DesignPoint("a", 10.0, 0.1),
+                  DesignPoint("b", 5.0, 0.2)]
+        text = render_tradeoff(points)
+        assert "Pareto" in text and "a" in text and "*" in text

@@ -1,0 +1,85 @@
+"""Tests for the seed-replication statistics module."""
+
+import pytest
+
+from repro.analysis.replication import (
+    Summary,
+    default_metrics,
+    node_metric,
+    replicate,
+    traffic_metric,
+)
+from repro.net.scenario import BanScenarioConfig
+from repro.phy.lossmodels import UniformLoss
+
+
+def config_for(**kw):
+    defaults = dict(mac="static", app="ecg_streaming", num_nodes=2,
+                    cycle_ms=30.0, sampling_hz=205.0, measure_s=2.0)
+    defaults.update(kw)
+    return BanScenarioConfig(**defaults)
+
+
+class TestSummary:
+    def test_statistics(self):
+        summary = Summary("x", (1.0, 2.0, 3.0, 4.0))
+        assert summary.n == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.stddev == pytest.approx(1.29099, rel=1e-4)
+        assert summary.stderr == pytest.approx(0.645497, rel=1e-4)
+        assert summary.ci95() == pytest.approx(1.96 * 0.645497, rel=1e-4)
+        assert summary.minimum == 1.0 and summary.maximum == 4.0
+
+    def test_single_sample_degenerate(self):
+        summary = Summary("x", (5.0,))
+        assert summary.stddev == 0.0
+        assert summary.ci95() == 0.0
+
+    def test_render(self):
+        text = Summary("radio_mj", (1.0, 2.0)).render()
+        assert "radio_mj" in text and "n=2" in text and "±" in text
+
+
+class TestReplicate:
+    def test_deterministic_scenario_zero_variance(self):
+        """Without stochastic elements, every seed gives the same
+        energy (the RNG streams exist but are never drawn)."""
+        summaries = replicate(config_for(), seeds=(1, 2, 3),
+                              metrics=default_metrics())
+        # Samples are bit-identical; the mean may differ by one ulp.
+        assert summaries["radio_mj"].stddev == pytest.approx(0.0,
+                                                             abs=1e-9)
+        assert summaries["mcu_mj"].stddev == pytest.approx(0.0, abs=1e-9)
+        assert len(set(summaries["radio_mj"].samples)) == 1
+
+    def test_lossy_scenario_varies_by_seed(self):
+        config = config_for(loss_model=UniformLoss(0.2), measure_s=3.0)
+        summaries = replicate(config, seeds=tuple(range(5)),
+                              metrics=default_metrics())
+        assert summaries["corrupted"].stddev > 0.0
+        assert summaries["corrupted"].mean > 0.0
+        # Energy varies too (missed beacons extend windows).
+        assert summaries["radio_mj"].maximum \
+            >= summaries["radio_mj"].minimum
+
+    def test_custom_metric(self):
+        summaries = replicate(
+            config_for(), seeds=(1,),
+            metrics={"bs_overheard": lambda result:
+                     float(result.base_station.traffic.overheard)})
+        assert "bs_overheard" in summaries
+
+    def test_metric_builders(self):
+        config = config_for()
+        from repro.net.scenario import BanScenario
+        result = BanScenario(config).run()
+        assert node_metric("node1", "radio_mj")(result) \
+            == result.node("node1").radio_mj
+        assert traffic_metric("node1", "data_tx")(result) \
+            == result.node("node1").traffic.data_tx
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replicate(config_for(), seeds=(), metrics=default_metrics())
+        with pytest.raises(ValueError):
+            replicate(config_for(), seeds=(1,), metrics={})

@@ -1,0 +1,90 @@
+"""Unit tests for the RNG registry and the trace recorder."""
+
+import pytest
+
+from repro.sim.rng import RngRegistry
+from repro.sim.trace import TraceRecord, TraceRecorder
+
+
+class TestRngRegistry:
+    def test_stream_is_cached(self):
+        registry = RngRegistry(0)
+        assert registry.stream("a") is registry.stream("a")
+
+    def test_streams_are_independent_of_creation_order(self):
+        forward = RngRegistry(9)
+        x1 = forward.stream("x").random()
+        _ = forward.stream("y").random()
+
+        backward = RngRegistry(9)
+        _ = backward.stream("y").random()
+        x2 = backward.stream("x").random()
+        assert x1 == x2
+
+    def test_different_purposes_decorrelated(self):
+        registry = RngRegistry(5)
+        a = [registry.stream("a").random() for _ in range(4)]
+        b = [registry.stream("b").random() for _ in range(4)]
+        assert a != b
+
+    def test_master_seed_property(self):
+        assert RngRegistry(77).master_seed == 77
+
+    def test_uniform_ticks_bounds(self):
+        registry = RngRegistry(3)
+        draws = [registry.uniform_ticks("t", 10, 20) for _ in range(200)]
+        assert all(10 <= d <= 20 for d in draws)
+        assert min(draws) == 10 and max(draws) == 20
+
+    def test_uniform_ticks_empty_range_raises(self):
+        with pytest.raises(ValueError):
+            RngRegistry(0).uniform_ticks("t", 5, 4)
+
+    def test_uniform_ticks_degenerate_range(self):
+        assert RngRegistry(0).uniform_ticks("t", 7, 7) == 7
+
+
+class TestTraceRecorder:
+    def test_records_accumulate(self):
+        trace = TraceRecorder()
+        trace.record(1, "radio", "tx", "frame 1")
+        trace.record(2, "radio", "rx", "frame 2")
+        assert len(trace) == 2
+        assert trace.total_recorded == 2
+
+    def test_filter_by_source_and_kind(self):
+        trace = TraceRecorder()
+        trace.record(1, "radio", "tx", "")
+        trace.record(2, "mcu", "tx", "")
+        trace.record(3, "radio", "rx", "")
+        assert len(trace.filter(source="radio")) == 2
+        assert len(trace.filter(kind="tx")) == 2
+        assert len(trace.filter(source="radio", kind="tx")) == 1
+
+    def test_capacity_evicts_oldest(self):
+        trace = TraceRecorder(capacity=3)
+        for t in range(10):
+            trace.record(t, "s", "k", str(t))
+        assert len(trace) == 3
+        assert trace.total_recorded == 10
+        assert [r.detail for r in trace] == ["7", "8", "9"]
+
+    def test_render_contains_fields(self):
+        record = TraceRecord(1_500_000, "node1.radio", "tx_start", "beacon")
+        line = record.render()
+        assert "node1.radio" in line
+        assert "tx_start" in line
+        assert "beacon" in line
+        assert "1.500 ms" in line
+
+    def test_str_joins_lines(self):
+        trace = TraceRecorder()
+        trace.record(1, "a", "b", "c")
+        trace.record(2, "d", "e", "f")
+        assert len(str(trace).splitlines()) == 2
+
+    def test_iteration_yields_records(self):
+        trace = TraceRecorder()
+        trace.record(5, "x", "y", "z")
+        records = list(trace)
+        assert records[0].time == 5

@@ -1,0 +1,90 @@
+"""Tests for the calibration sensitivity (tornado) analysis."""
+
+import pytest
+
+from repro.analysis.sensitivity import (
+    PARAMETERS,
+    render_tornado,
+    tornado,
+)
+from repro.net.scenario import BanScenarioConfig
+
+
+def config_for(app="ecg_streaming", cycle_ms=30.0):
+    return BanScenarioConfig(
+        mac="static", app=app, num_nodes=5, cycle_ms=cycle_ms,
+        sampling_hz=205.0 if app == "ecg_streaming" else None,
+        measure_s=60.0)
+
+
+class TestTornado:
+    def test_sorted_by_swing(self):
+        entries = tornado(config_for(), relative=0.1)
+        swings = [entry.swing_mj for entry in entries]
+        assert swings == sorted(swings, reverse=True)
+        assert len(entries) == len(PARAMETERS)
+
+    def test_rx_current_dominates_streaming(self):
+        """At the 30 ms cycle, the beacon window at RX current is the
+        budget — RX current and the static guard lead must rank first."""
+        entries = tornado(config_for(), relative=0.1)
+        top_two = {entries[0].parameter, entries[1].parameter}
+        assert top_two == {"radio_rx_current", "static_guard_lead"}
+
+    def test_rx_swing_magnitude(self):
+        """±10% of RX current swings the window energy by ~20% of the
+        radio's ~456 mJ window share => ~91 mJ."""
+        entries = tornado(config_for(), relative=0.1)
+        rx = next(e for e in entries
+                  if e.parameter == "radio_rx_current")
+        assert rx.swing_mj == pytest.approx(91.2, rel=0.03)
+        assert rx.low_mj < rx.nominal_mj < rx.high_mj
+
+    def test_rpeak_algorithm_matters_only_for_rpeak(self):
+        streaming = {e.parameter: e.swing_mj
+                     for e in tornado(config_for(), relative=0.1)}
+        rpeak = {e.parameter: e.swing_mj
+                 for e in tornado(config_for(app="rpeak", cycle_ms=120.0),
+                                  relative=0.1)}
+        assert streaming["rpeak_algorithm_cost"] == 0.0
+        assert rpeak["rpeak_algorithm_cost"] > 1.0
+
+    def test_quantity_selection(self):
+        radio_only = tornado(config_for(), relative=0.1,
+                             quantity="radio")
+        by_name = {e.parameter: e for e in radio_only}
+        assert by_name["mcu_active_current"].swing_mj == 0.0
+        assert by_name["radio_rx_current"].swing_mj > 0.0
+
+    def test_dynamic_guard_only_affects_dynamic(self):
+        static_cfg = config_for()
+        entries = {e.parameter: e.swing_mj
+                   for e in tornado(static_cfg, relative=0.2)}
+        assert entries["dynamic_guard_base"] == 0.0
+        dynamic_cfg = BanScenarioConfig(mac="dynamic",
+                                        app="ecg_streaming",
+                                        num_nodes=5, measure_s=60.0)
+        dynamic_entries = {e.parameter: e.swing_mj
+                           for e in tornado(dynamic_cfg, relative=0.2)}
+        assert dynamic_entries["dynamic_guard_base"] > 0.0
+        assert dynamic_entries["static_guard_lead"] == 0.0
+
+    def test_parameter_subset_and_validation(self):
+        entries = tornado(config_for(), relative=0.1,
+                          parameters=("radio_rx_current",))
+        assert len(entries) == 1
+        with pytest.raises(KeyError):
+            tornado(config_for(), parameters=("flux_capacitor",))
+        with pytest.raises(ValueError):
+            tornado(config_for(), relative=0.0)
+        with pytest.raises(ValueError):
+            tornado(config_for(), quantity="entropy")
+
+    def test_render(self):
+        entries = tornado(config_for(), relative=0.1)
+        text = render_tornado(entries)
+        assert "radio_rx_current" in text
+        assert "#" in text and "mJ" in text
+
+    def test_render_empty(self):
+        assert "no parameters" in render_tornado([])

@@ -1,0 +1,161 @@
+"""Unit tests for signal sources and the synthetic ECG/EEG generators."""
+
+import math
+
+import pytest
+
+from repro.signals.ecg import PQRST, SyntheticEcg, Wave
+from repro.signals.eeg import SyntheticEeg
+from repro.signals.sources import (
+    ConstantSource,
+    HashNoiseSource,
+    MixSource,
+    ScaledSource,
+    SineSource,
+)
+
+
+class TestSources:
+    def test_constant(self):
+        assert ConstantSource(1.5).value_at(123.0) == 1.5
+
+    def test_sine(self):
+        source = SineSource(2.0, amplitude=3.0, offset=1.0)
+        assert source.value_at(0.0) == pytest.approx(1.0)
+        assert source.value_at(0.125) == pytest.approx(4.0)
+
+    def test_sine_validation(self):
+        with pytest.raises(ValueError):
+            SineSource(0.0)
+
+    def test_hash_noise_deterministic(self):
+        a = HashNoiseSource(1.0, seed=7)
+        b = HashNoiseSource(1.0, seed=7)
+        times = [0.001 * k for k in range(100)]
+        assert [a.value_at(t) for t in times] == \
+            [b.value_at(t) for t in times]
+
+    def test_hash_noise_bounded_and_varied(self):
+        source = HashNoiseSource(0.5, seed=1)
+        values = [source.value_at(0.001 * k) for k in range(500)]
+        assert all(-0.5 <= v <= 0.5 for v in values)
+        assert len(set(values)) > 400
+
+    def test_hash_noise_seed_changes_sequence(self):
+        a = HashNoiseSource(1.0, seed=1).value_at(0.5)
+        b = HashNoiseSource(1.0, seed=2).value_at(0.5)
+        assert a != b
+
+    def test_hash_noise_zero_amplitude(self):
+        assert HashNoiseSource(0.0).value_at(1.0) == 0.0
+
+    def test_hash_noise_validation(self):
+        with pytest.raises(ValueError):
+            HashNoiseSource(-1.0)
+
+    def test_mix_weighted_sum(self):
+        mix = MixSource([ConstantSource(1.0), ConstantSource(2.0)],
+                        weights=[2.0, 0.5])
+        assert mix.value_at(0.0) == pytest.approx(3.0)
+
+    def test_mix_validation(self):
+        with pytest.raises(ValueError):
+            MixSource([])
+        with pytest.raises(ValueError):
+            MixSource([ConstantSource()], weights=[1.0, 2.0])
+
+    def test_scaled(self):
+        scaled = ScaledSource(ConstantSource(2.0), gain=0.8, offset=1.25)
+        assert scaled.value_at(0.0) == pytest.approx(2.85)
+
+
+class TestSyntheticEcg:
+    def test_r_peaks_at_75_bpm(self):
+        ecg = SyntheticEcg(heart_rate_bpm=75.0)
+        peaks = ecg.r_peak_times(60.0)
+        # 75 bpm for 60 s starting at 0.35 s -> 75 peaks.
+        assert len(peaks) == 75
+        intervals = [b - a for a, b in zip(peaks, peaks[1:])]
+        assert all(i == pytest.approx(0.8) for i in intervals)
+
+    def test_signal_peaks_at_beat_times(self):
+        ecg = SyntheticEcg(heart_rate_bpm=75.0)
+        beat = ecg.r_peak_times(5.0)[2]
+        at_peak = ecg.value_at(beat)
+        off_peak = ecg.value_at(beat + 0.4)
+        assert at_peak > 0.9  # R amplitude ~1 mV
+        assert at_peak > 3 * abs(off_peak)
+
+    def test_deterministic(self):
+        a = SyntheticEcg()
+        b = SyntheticEcg()
+        times = [0.01 * k for k in range(300)]
+        assert [a.value_at(t) for t in times] == \
+            [b.value_at(t) for t in times]
+
+    def test_query_order_does_not_matter(self):
+        forward = SyntheticEcg()
+        backward = SyntheticEcg()
+        times = [0.05 * k for k in range(200)]
+        values_fwd = [forward.value_at(t) for t in times]
+        values_bwd = list(reversed(
+            [backward.value_at(t) for t in reversed(times)]))
+        assert values_fwd == values_bwd
+
+    def test_hrv_modulates_intervals(self):
+        ecg = SyntheticEcg(heart_rate_bpm=60.0, hrv_fraction=0.1)
+        peaks = ecg.r_peak_times(30.0)
+        intervals = [b - a for a, b in zip(peaks, peaks[1:])]
+        assert max(intervals) > 1.01
+        assert min(intervals) < 0.99
+
+    def test_amplitude_scale(self):
+        quiet = SyntheticEcg(amplitude_mv=0.5)
+        loud = SyntheticEcg(amplitude_mv=2.0)
+        beat = quiet.r_peak_times(2.0)[0]
+        assert loud.value_at(beat) == pytest.approx(
+            4 * quiet.value_at(beat))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticEcg(heart_rate_bpm=0.0)
+        with pytest.raises(ValueError):
+            SyntheticEcg(hrv_fraction=0.7)
+
+    def test_morphology_has_five_waves(self):
+        assert len(PQRST) == 5
+        r_wave = max(PQRST, key=lambda w: w.amplitude)
+        assert r_wave.offset_s == 0.0  # R defines the beat time
+
+    def test_custom_morphology(self):
+        mono = SyntheticEcg(morphology=[Wave(1.0, 0.0, 0.01)])
+        beat = mono.r_peak_times(2.0)[0]
+        assert mono.value_at(beat) == pytest.approx(1.0, abs=0.01)
+
+
+class TestSyntheticEeg:
+    def test_deterministic_per_seed(self):
+        a = SyntheticEeg(seed=3)
+        b = SyntheticEeg(seed=3)
+        assert a.value_at(1.234) == b.value_at(1.234)
+
+    def test_seed_changes_waveform(self):
+        assert SyntheticEeg(seed=1).value_at(0.5) \
+            != SyntheticEeg(seed=2).value_at(0.5)
+
+    def test_band_rms_matches_spec(self):
+        eeg = SyntheticEeg(seed=0)
+        rms = eeg.band_rms()
+        assert rms["alpha"] == pytest.approx(20.0, rel=1e-6)
+        assert rms["beta"] == pytest.approx(6.0, rel=1e-6)
+
+    def test_amplitude_plausible(self):
+        eeg = SyntheticEeg(seed=0)
+        values = [eeg.value_at(0.01 * k) for k in range(1000)]
+        rms = math.sqrt(sum(v * v for v in values) / len(values))
+        total = math.sqrt(sum(r * r for r in eeg.band_rms().values()))
+        assert rms == pytest.approx(total, rel=0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SyntheticEeg(tones_per_band=0)

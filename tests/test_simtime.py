@@ -1,0 +1,81 @@
+"""Unit tests for the time base and unit conversions."""
+
+import pytest
+
+from repro.sim import simtime
+
+
+class TestUnitConversion:
+    def test_second_is_1e9_ticks(self):
+        assert simtime.seconds(1.0) == 1_000_000_000
+
+    def test_millisecond(self):
+        assert simtime.milliseconds(30.0) == 30_000_000
+
+    def test_microsecond(self):
+        assert simtime.microseconds(6.0) == 6_000
+
+    def test_nanoseconds_identity(self):
+        assert simtime.nanoseconds(125) == 125
+
+    def test_fractional_values_round_to_nearest(self):
+        assert simtime.microseconds(0.5) == 500
+        assert simtime.microseconds(0.0004) == 0
+
+    def test_roundtrip_seconds(self):
+        assert simtime.to_seconds(simtime.seconds(60.0)) == pytest.approx(60.0)
+
+    def test_roundtrip_milliseconds(self):
+        assert simtime.to_milliseconds(simtime.milliseconds(7.25)) \
+            == pytest.approx(7.25)
+
+    def test_roundtrip_microseconds(self):
+        assert simtime.to_microseconds(simtime.microseconds(195)) \
+            == pytest.approx(195.0)
+
+    def test_mcu_clock_cycle_is_exact(self):
+        # 8 MHz -> 125 ns per cycle, representable exactly.
+        assert simtime.seconds(1.0) // 8_000_000 == 125
+
+
+class TestFormatTime:
+    def test_zero(self):
+        assert simtime.format_time(0) == "0 s"
+
+    def test_nanoseconds(self):
+        assert simtime.format_time(999) == "999 ns"
+
+    def test_microseconds(self):
+        assert simtime.format_time(1_500) == "1.500 us"
+
+    def test_milliseconds(self):
+        assert simtime.format_time(30_000_000) == "30.000 ms"
+
+    def test_seconds(self):
+        assert simtime.format_time(60 * simtime.TICKS_PER_SECOND) \
+            == "60.000 s"
+
+
+class TestAirtime:
+    def test_one_bit_at_1mbps_is_1us(self):
+        assert simtime.bits_duration(1, 1e6) == 1_000
+
+    def test_26_byte_frame_at_1mbps(self):
+        # The case studies' 18-byte-payload ShockBurst frame: 208 us.
+        assert simtime.bytes_duration(26, 1e6) == 208_000
+
+    def test_250kbps_rate(self):
+        assert simtime.bits_duration(8, 250e3) == 32_000
+
+    def test_zero_bits(self):
+        assert simtime.bits_duration(0, 1e6) == 0
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            simtime.bits_duration(-1, 1e6)
+
+    def test_nonpositive_bitrate_rejected(self):
+        with pytest.raises(ValueError):
+            simtime.bits_duration(8, 0.0)
+        with pytest.raises(ValueError):
+            simtime.bits_duration(8, -1e6)

@@ -1,0 +1,38 @@
+"""Tests for the one-shot reproduction report."""
+
+import pytest
+
+from repro.analysis.summary import full_report
+from repro.cli import main
+
+
+class TestFullReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return full_report(measure_s=2.0)
+
+    def test_contains_all_sections(self, report):
+        for section in ("TABLE1", "TABLE2", "TABLE3", "TABLE4",
+                        "FIGURE 4", "VALIDATION SUMMARY",
+                        "ANALYTIC CROSS-CHECK", "LOSS TAXONOMY"):
+            assert section in report
+
+    def test_contains_paper_columns(self, report):
+        assert "Radio paper-sim" in report
+        assert "Avg err vs real" in report
+        assert "idle_listening" in report
+
+    def test_window_recorded(self, report):
+        assert "Measurement window: 2 s" in report
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        out = tmp_path / "report.txt"
+        assert main(["report", "--measure-s", "2",
+                     "--out", str(out)]) == 0
+        text = out.read_text()
+        assert "VALIDATION SUMMARY" in text
+        assert "wrote" in capsys.readouterr().out
+
+    def test_cli_report_to_stdout(self, capsys):
+        assert main(["report", "--measure-s", "2"]) == 0
+        assert "FIGURE 4" in capsys.readouterr().out

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Generate docs/api_reference.md from the package's docstrings.
+
+Walks every module under ``repro``, collects public classes/functions
+and their first docstring line, and renders a markdown index.  Run
+after API changes:
+
+    python tools/gen_api_reference.py > docs/api_reference.md
+
+The test suite checks the committed file is current
+(`tests/test_api_reference.py`), so the reference cannot drift.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+import sys
+from typing import List
+
+import repro
+
+
+def first_line(obj) -> str:
+    doc = inspect.getdoc(obj)
+    if not doc:
+        return "(undocumented)"
+    return doc.splitlines()[0].strip()
+
+
+def public_members(module) -> List[tuple]:
+    names = getattr(module, "__all__", None)
+    if names is None:
+        names = [n for n in dir(module) if not n.startswith("_")]
+    members = []
+    for name in names:
+        obj = getattr(module, name, None)
+        if obj is None:
+            continue
+        # Only members defined in this module (skip re-exports).
+        defined_in = getattr(obj, "__module__", None)
+        if defined_in != module.__name__:
+            continue
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            kind = "class" if inspect.isclass(obj) else "def"
+            members.append((kind, name, first_line(obj)))
+    return members
+
+
+def iter_modules():
+    for info in pkgutil.walk_packages(repro.__path__,
+                                      prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue
+        yield importlib.import_module(info.name)
+
+
+def generate() -> str:
+    lines = [
+        "# API reference",
+        "",
+        "One line per public item, generated from docstrings by",
+        "`tools/gen_api_reference.py` — regenerate after API changes.",
+    ]
+    for module in sorted(iter_modules(), key=lambda m: m.__name__):
+        members = public_members(module)
+        if not members and not (module.__doc__ or "").strip():
+            continue
+        lines.append("")
+        lines.append(f"## `{module.__name__}`")
+        summary = first_line(module)
+        if summary != "(undocumented)":
+            lines.append("")
+            lines.append(summary)
+        if members:
+            lines.append("")
+            for kind, name, doc in members:
+                lines.append(f"- **{kind} `{name}`** — {doc}")
+    return "\n".join(lines) + "\n"
+
+
+if __name__ == "__main__":
+    sys.stdout.write(generate())
