@@ -1,0 +1,142 @@
+#!/usr/bin/env python3
+"""Standalone kernel-benchmark runner with a committed history.
+
+Runs the same workloads as ``bench_kernel.py`` without requiring
+pytest-benchmark, and appends one structured record per workload to
+``BENCH_kernel.json`` at the repository root.  The committed file is the
+performance trajectory of the simulator substrate: every optimisation PR
+appends its before/after numbers so regressions are visible in review.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/run_bench.py --label my-change
+    PYTHONPATH=src python benchmarks/run_bench.py --repeats 7 --full
+
+``--full`` adds the (slower) whole-BAN simulation-rate workload on top
+of the kernel event-throughput microbenchmark.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import statistics
+import subprocess
+import sys
+import time
+from typing import Callable, Dict, List
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.net.scenario import BanScenario, BanScenarioConfig  # noqa: E402
+from repro.sim.kernel import Simulator  # noqa: E402
+
+#: Where the committed benchmark trajectory lives.
+RESULTS_PATH = ROOT / "BENCH_kernel.json"
+
+#: Events dispatched by the kernel-throughput workload.
+KERNEL_EVENTS = 100_000
+
+
+def kernel_event_throughput() -> int:
+    """The ``bench_kernel.py::test_kernel_event_throughput`` workload:
+    dispatch 100k self-rescheduling events through one Simulator."""
+    sim = Simulator()
+    count = [0]
+
+    def tick() -> None:
+        count[0] += 1
+        if count[0] < KERNEL_EVENTS:
+            sim.after(10, tick)
+
+    sim.after(10, tick)
+    sim.run_until(10 * KERNEL_EVENTS + 1)
+    return count[0]
+
+
+def ban_simulation_rate() -> int:
+    """The densest table row (5 nodes, 30 ms cycle, 205 Hz streaming)
+    over a short 5 s window; returns events dispatched."""
+    config = BanScenarioConfig(mac="static", app="ecg_streaming",
+                               num_nodes=5, cycle_ms=30.0,
+                               sampling_hz=205.0, measure_s=5.0)
+    scenario = BanScenario(config)
+    scenario.run()
+    return scenario.sim.events_dispatched
+
+
+def _git_rev() -> str:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=ROOT,
+            capture_output=True, text=True, check=True).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def measure(workload: Callable[[], int], repeats: int) -> Dict[str, float]:
+    """Run ``workload`` ``repeats`` times; report best/mean wall time."""
+    times: List[float] = []
+    events = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        events = workload()
+        times.append(time.perf_counter() - start)
+    best = min(times)
+    return {
+        "best_s": round(best, 6),
+        "mean_s": round(statistics.fmean(times), 6),
+        "repeats": repeats,
+        "events": events,
+        "events_per_s": round(events / best, 1),
+    }
+
+
+def append_record(record: Dict) -> None:
+    """Append ``record`` to the committed JSON history (a list)."""
+    history: List[Dict] = []
+    if RESULTS_PATH.exists():
+        history = json.loads(RESULTS_PATH.read_text())
+    history.append(record)
+    RESULTS_PATH.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="runs per workload; best-of is recorded "
+                             "(default 5)")
+    parser.add_argument("--label", default="",
+                        help="free-form tag stored with the record "
+                             "(e.g. 'seed', 'fast-path')")
+    parser.add_argument("--full", action="store_true",
+                        help="also run the whole-BAN simulation-rate "
+                             "workload (slower)")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="print records without touching "
+                             "BENCH_kernel.json")
+    args = parser.parse_args(argv)
+
+    workloads = [("kernel_event_throughput", kernel_event_throughput)]
+    if args.full:
+        workloads.append(("ban_simulation_rate_5s", ban_simulation_rate))
+
+    rev = _git_rev()
+    stamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+    for name, workload in workloads:
+        stats = measure(workload, args.repeats)
+        record = {"benchmark": name, "timestamp_utc": stamp,
+                  "git_rev": rev, "label": args.label,
+                  "python": sys.version.split()[0], **stats}
+        print(json.dumps(record))
+        if not args.dry_run:
+            append_record(record)
+    if not args.dry_run:
+        print(f"appended to {RESULTS_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

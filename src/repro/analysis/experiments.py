@@ -26,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..core.calibration import DEFAULT_CALIBRATION, ModelCalibration
-from ..core.report import render_table
+from ..core.report import NetworkEnergyResult, render_table
 from ..data.paper_tables import (
     FIGURE_4_RPEAK_TOTAL_MJ,
     FIGURE_4_SAVING_FRACTION,
@@ -37,6 +37,7 @@ from ..data.paper_tables import (
     TABLE_3,
     TABLE_4,
 )
+from ..exec import ScenarioExecutor
 from ..net.scenario import BanScenarioConfig, BanScenario
 
 #: Node whose energy the paper reports ("the ECG node").
@@ -117,90 +118,139 @@ def _run_row(config: BanScenarioConfig) -> Dict[str, float]:
     return {"radio_mj": node.radio_mj, "mcu_mj": node.mcu_mj}
 
 
+def _resolve(executor: Optional[ScenarioExecutor]) -> ScenarioExecutor:
+    """Default to sequential in-process execution."""
+    return executor if executor is not None else ScenarioExecutor(jobs=1)
+
+
 def _scale(value_mj: float, measure_s: float) -> float:
     """Scale a published 60 s figure to a shorter measurement window."""
     return value_mj * measure_s / 60.0
 
 
-def _reproduce(table: PaperTable, configs: Sequence[BanScenarioConfig],
-               measure_s: float) -> ExperimentResult:
+def _assemble(table: PaperTable, results: Sequence[NetworkEnergyResult],
+              measure_s: float) -> ExperimentResult:
+    """Zip simulated results against the table's published rows."""
     rows: List[ExperimentRow] = []
-    for paper_row, config in zip(table.rows, configs):
-        ours = _run_row(config)
+    for paper_row, result in zip(table.rows, results):
+        node = result.node(REPORTED_NODE)
         rows.append(ExperimentRow(
             parameter=paper_row.parameter,
             cycle_ms=paper_row.cycle_ms,
             radio_real_mj=_scale(paper_row.radio_real_mj, measure_s),
             radio_paper_sim_mj=_scale(paper_row.radio_sim_mj, measure_s),
-            radio_ours_mj=ours["radio_mj"],
+            radio_ours_mj=node.radio_mj,
             mcu_real_mj=_scale(paper_row.mcu_real_mj, measure_s),
             mcu_paper_sim_mj=_scale(paper_row.mcu_sim_mj, measure_s),
-            mcu_ours_mj=ours["mcu_mj"],
+            mcu_ours_mj=node.mcu_mj,
         ))
     return ExperimentResult(table_id=table.table_id, caption=table.caption,
                             parameter_name=table.parameter_name,
                             rows=rows, measure_s=measure_s)
 
 
+def _reproduce(table: PaperTable, configs: Sequence[BanScenarioConfig],
+               measure_s: float,
+               executor: Optional[ScenarioExecutor] = None
+               ) -> ExperimentResult:
+    results = _resolve(executor).run_configs(configs)
+    return _assemble(table, results, measure_s)
+
+
 # ---------------------------------------------------------------------------
 # Tables
 # ---------------------------------------------------------------------------
 
-def reproduce_table1(measure_s: float = 60.0, seed: int = 0,
-                     calibration: Optional[ModelCalibration] = None
-                     ) -> ExperimentResult:
-    """Table 1: ECG streaming, static TDMA, sampling-frequency sweep."""
-    cal = calibration or DEFAULT_CALIBRATION
-    configs = [
+def _table1_configs(measure_s: float, seed: int,
+                    cal: ModelCalibration) -> List[BanScenarioConfig]:
+    return [
         BanScenarioConfig(mac="static", app="ecg_streaming", num_nodes=5,
                           cycle_ms=row.cycle_ms, sampling_hz=row.parameter,
                           measure_s=measure_s, seed=seed, calibration=cal)
         for row in TABLE_1.rows
     ]
-    return _reproduce(TABLE_1, configs, measure_s)
 
 
-def reproduce_table2(measure_s: float = 60.0, seed: int = 0,
-                     calibration: Optional[ModelCalibration] = None
-                     ) -> ExperimentResult:
-    """Table 2: ECG streaming, dynamic TDMA, node-count sweep."""
-    cal = calibration or DEFAULT_CALIBRATION
-    configs = [
+def _table2_configs(measure_s: float, seed: int,
+                    cal: ModelCalibration) -> List[BanScenarioConfig]:
+    return [
         BanScenarioConfig(mac="dynamic", app="ecg_streaming",
                           num_nodes=int(row.parameter), slot_ms=10.0,
                           measure_s=measure_s, seed=seed, calibration=cal)
         for row in TABLE_2.rows
     ]
-    return _reproduce(TABLE_2, configs, measure_s)
 
 
-def reproduce_table3(measure_s: float = 60.0, seed: int = 0,
-                     calibration: Optional[ModelCalibration] = None
-                     ) -> ExperimentResult:
-    """Table 3: Rpeak (75 bpm input), static TDMA, cycle sweep."""
-    cal = calibration or DEFAULT_CALIBRATION
-    configs = [
+def _table3_configs(measure_s: float, seed: int,
+                    cal: ModelCalibration) -> List[BanScenarioConfig]:
+    return [
         BanScenarioConfig(mac="static", app="rpeak", num_nodes=5,
                           cycle_ms=row.cycle_ms, heart_rate_bpm=75.0,
                           measure_s=measure_s, seed=seed, calibration=cal)
         for row in TABLE_3.rows
     ]
-    return _reproduce(TABLE_3, configs, measure_s)
 
 
-def reproduce_table4(measure_s: float = 60.0, seed: int = 0,
-                     calibration: Optional[ModelCalibration] = None
-                     ) -> ExperimentResult:
-    """Table 4: Rpeak, dynamic TDMA, node-count sweep."""
-    cal = calibration or DEFAULT_CALIBRATION
-    configs = [
+def _table4_configs(measure_s: float, seed: int,
+                    cal: ModelCalibration) -> List[BanScenarioConfig]:
+    return [
         BanScenarioConfig(mac="dynamic", app="rpeak",
                           num_nodes=int(row.parameter), slot_ms=10.0,
                           heart_rate_bpm=75.0,
                           measure_s=measure_s, seed=seed, calibration=cal)
         for row in TABLE_4.rows
     ]
-    return _reproduce(TABLE_4, configs, measure_s)
+
+
+#: table_id -> (published table, config builder).
+_TABLE_SPECS = {
+    "table1": (TABLE_1, _table1_configs),
+    "table2": (TABLE_2, _table2_configs),
+    "table3": (TABLE_3, _table3_configs),
+    "table4": (TABLE_4, _table4_configs),
+}
+
+
+def _reproduce_one(table_id: str, measure_s: float, seed: int,
+                   calibration: Optional[ModelCalibration],
+                   executor: Optional[ScenarioExecutor]
+                   ) -> ExperimentResult:
+    cal = calibration or DEFAULT_CALIBRATION
+    table, build = _TABLE_SPECS[table_id]
+    return _reproduce(table, build(measure_s, seed, cal), measure_s,
+                      executor)
+
+
+def reproduce_table1(measure_s: float = 60.0, seed: int = 0,
+                     calibration: Optional[ModelCalibration] = None,
+                     executor: Optional[ScenarioExecutor] = None
+                     ) -> ExperimentResult:
+    """Table 1: ECG streaming, static TDMA, sampling-frequency sweep."""
+    return _reproduce_one("table1", measure_s, seed, calibration, executor)
+
+
+def reproduce_table2(measure_s: float = 60.0, seed: int = 0,
+                     calibration: Optional[ModelCalibration] = None,
+                     executor: Optional[ScenarioExecutor] = None
+                     ) -> ExperimentResult:
+    """Table 2: ECG streaming, dynamic TDMA, node-count sweep."""
+    return _reproduce_one("table2", measure_s, seed, calibration, executor)
+
+
+def reproduce_table3(measure_s: float = 60.0, seed: int = 0,
+                     calibration: Optional[ModelCalibration] = None,
+                     executor: Optional[ScenarioExecutor] = None
+                     ) -> ExperimentResult:
+    """Table 3: Rpeak (75 bpm input), static TDMA, cycle sweep."""
+    return _reproduce_one("table3", measure_s, seed, calibration, executor)
+
+
+def reproduce_table4(measure_s: float = 60.0, seed: int = 0,
+                     calibration: Optional[ModelCalibration] = None,
+                     executor: Optional[ScenarioExecutor] = None
+                     ) -> ExperimentResult:
+    """Table 4: Rpeak, dynamic TDMA, node-count sweep."""
+    return _reproduce_one("table4", measure_s, seed, calibration, executor)
 
 
 #: Registry of table reproductions by id.
@@ -210,6 +260,37 @@ TABLE_REPRODUCERS = {
     "table3": reproduce_table3,
     "table4": reproduce_table4,
 }
+
+
+def reproduce_all_tables(measure_s: float = 60.0, seed: int = 0,
+                         calibration: Optional[ModelCalibration] = None,
+                         executor: Optional[ScenarioExecutor] = None
+                         ) -> Dict[str, ExperimentResult]:
+    """Reproduce every table, batching all rows through one executor.
+
+    All 18 row scenarios are independent, so they are submitted as one
+    flat batch — with ``jobs=N`` workers the whole evaluation runs
+    N-wide instead of table-by-table.  Output is identical to calling
+    the four ``reproduce_table*`` functions sequentially.
+    """
+    cal = calibration or DEFAULT_CALIBRATION
+    table_ids = sorted(_TABLE_SPECS)
+    per_table = {
+        table_id: _TABLE_SPECS[table_id][1](measure_s, seed, cal)
+        for table_id in table_ids
+    }
+    flat = [config for table_id in table_ids
+            for config in per_table[table_id]]
+    results = _resolve(executor).run_configs(flat)
+    reproduced: Dict[str, ExperimentResult] = {}
+    offset = 0
+    for table_id in table_ids:
+        table = _TABLE_SPECS[table_id][0]
+        count = len(per_table[table_id])
+        reproduced[table_id] = _assemble(
+            table, results[offset:offset + count], measure_s)
+        offset += count
+    return reproduced
 
 
 # ---------------------------------------------------------------------------
@@ -247,22 +328,28 @@ class Figure4Result:
 
 
 def reproduce_figure4(measure_s: float = 60.0, seed: int = 0,
-                      calibration: Optional[ModelCalibration] = None
+                      calibration: Optional[ModelCalibration] = None,
+                      executor: Optional[ScenarioExecutor] = None
                       ) -> Figure4Result:
     """Figure 4: streaming at 30 ms vs Rpeak at 120 ms, 5-node static BAN."""
     cal = calibration or DEFAULT_CALIBRATION
-    streaming = _run_row(BanScenarioConfig(
-        mac="static", app="ecg_streaming", num_nodes=5, cycle_ms=30.0,
-        sampling_hz=205.0, measure_s=measure_s, seed=seed, calibration=cal))
-    rpeak = _run_row(BanScenarioConfig(
-        mac="static", app="rpeak", num_nodes=5, cycle_ms=120.0,
-        heart_rate_bpm=75.0, measure_s=measure_s, seed=seed,
-        calibration=cal))
+    configs = [
+        BanScenarioConfig(
+            mac="static", app="ecg_streaming", num_nodes=5, cycle_ms=30.0,
+            sampling_hz=205.0, measure_s=measure_s, seed=seed,
+            calibration=cal),
+        BanScenarioConfig(
+            mac="static", app="rpeak", num_nodes=5, cycle_ms=120.0,
+            heart_rate_bpm=75.0, measure_s=measure_s, seed=seed,
+            calibration=cal),
+    ]
+    streaming, rpeak = (result.node(REPORTED_NODE) for result in
+                        _resolve(executor).run_configs(configs))
     return Figure4Result(
-        streaming_radio_mj=streaming["radio_mj"],
-        streaming_mcu_mj=streaming["mcu_mj"],
-        rpeak_radio_mj=rpeak["radio_mj"],
-        rpeak_mcu_mj=rpeak["mcu_mj"],
+        streaming_radio_mj=streaming.radio_mj,
+        streaming_mcu_mj=streaming.mcu_mj,
+        rpeak_radio_mj=rpeak.radio_mj,
+        rpeak_mcu_mj=rpeak.mcu_mj,
         measure_s=measure_s,
         paper_streaming_total_mj=_scale(FIGURE_4_STREAMING_TOTAL_MJ,
                                         measure_s),
@@ -278,6 +365,7 @@ __all__ = [
     "reproduce_table2",
     "reproduce_table3",
     "reproduce_table4",
+    "reproduce_all_tables",
     "TABLE_REPRODUCERS",
     "Figure4Result",
     "reproduce_figure4",

@@ -15,10 +15,11 @@ from __future__ import annotations
 import dataclasses
 import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.report import NetworkEnergyResult
-from ..net.scenario import BanScenario, BanScenarioConfig
+from ..exec import ScenarioExecutor
+from ..net.scenario import BanScenarioConfig
 
 #: An extractor maps a run's result to one number.
 Metric = Callable[[NetworkEnergyResult], float]
@@ -93,19 +94,25 @@ class Summary:
 
 
 def replicate(config: BanScenarioConfig, seeds: Sequence[int],
-              metrics: Dict[str, Metric]) -> Dict[str, Summary]:
+              metrics: Dict[str, Metric],
+              executor: Optional[ScenarioExecutor] = None
+              ) -> Dict[str, Summary]:
     """Run ``config`` once per seed; summarise each metric.
 
-    The config's own ``seed`` field is overridden per run.
+    The config's own ``seed`` field is overridden per run.  Seeds are
+    independent scenarios, so an executor with ``jobs=N`` replicates
+    N-wide; samples stay in seed order regardless.
     """
     if not seeds:
         raise ValueError("need at least one seed")
     if not metrics:
         raise ValueError("need at least one metric")
+    if executor is None:
+        executor = ScenarioExecutor(jobs=1)
+    configs = [dataclasses.replace(config, seed=seed) for seed in seeds]
+    results = executor.run_configs(configs)
     samples: Dict[str, List[float]] = {name: [] for name in metrics}
-    for seed in seeds:
-        run_config = dataclasses.replace(config, seed=seed)
-        result = BanScenario(run_config).run()
+    for result in results:
         for name, metric in metrics.items():
             samples[name].append(metric(result))
     return {name: Summary(name=name, samples=tuple(values))

@@ -10,16 +10,20 @@ measurement care.
 
 Because the predictor is analytic, a full tornado over every parameter
 is instantaneous — this is the "what should we calibrate first?"
-tool a platform bring-up wants.
+tool a platform bring-up wants.  ``method="simulate"`` swaps the
+predictor for full discrete-event runs (one per perturbation, fanned
+out through a :class:`~repro.exec.ScenarioExecutor`), which also
+captures effects the closed form ignores (losses, contention).
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.calibration import ModelCalibration
+from ..exec import ScenarioExecutor
 from ..net.scenario import BanScenarioConfig
 from .closed_form import predict
 
@@ -94,9 +98,27 @@ class SensitivityEntry:
         return self.swing_mj / self.nominal_mj
 
 
+def _extract(quantity: str):
+    """Value extractor for a prediction or a reported node result.
+
+    Both :class:`~repro.analysis.closed_form` predictions and
+    :class:`~repro.core.report.NodeEnergyResult` expose
+    ``radio_mj``/``mcu_mj``/``total_mj``, so one extractor serves both
+    tornado methods.
+    """
+    if quantity not in ("total", "radio", "mcu"):
+        raise ValueError(
+            f"quantity must be total/radio/mcu, got {quantity!r}")
+    attribute = f"{quantity}_mj"
+    return lambda value: float(getattr(value, attribute))
+
+
 def tornado(config: BanScenarioConfig, relative: float = 0.10,
             parameters: Sequence[str] = tuple(PARAMETERS),
-            quantity: str = "total") -> List[SensitivityEntry]:
+            quantity: str = "total",
+            method: str = "analytic",
+            executor: Optional[ScenarioExecutor] = None
+            ) -> List[SensitivityEntry]:
     """Sensitivity of the node energy to each calibration parameter.
 
     Args:
@@ -104,36 +126,51 @@ def tornado(config: BanScenarioConfig, relative: float = 0.10,
         relative: the ± perturbation (0.10 = ±10%).
         parameters: which parameters to perturb (default: all).
         quantity: ``"total"`` (radio+MCU), ``"radio"`` or ``"mcu"``.
+        method: ``"analytic"`` (closed-form, instantaneous) or
+            ``"simulate"`` (full discrete-event run per perturbation —
+            2·|parameters|+1 scenarios, batched through ``executor``).
+        executor: parallel/cached execution for ``method="simulate"``.
 
     Returns entries sorted by decreasing swing.
     """
     if not 0.0 < relative < 1.0:
         raise ValueError(f"relative perturbation out of (0,1): {relative}")
-
-    def value_of(cal: ModelCalibration) -> float:
-        prediction = predict(dataclasses.replace(config, calibration=cal))
-        if quantity == "total":
-            return prediction.total_mj
-        if quantity == "radio":
-            return prediction.radio_mj
-        if quantity == "mcu":
-            return prediction.mcu_mj
+    if method not in ("analytic", "simulate"):
         raise ValueError(
-            f"quantity must be total/radio/mcu, got {quantity!r}")
+            f"method must be analytic/simulate, got {method!r}")
+    extract = _extract(quantity)
 
-    nominal = value_of(config.calibration)
-    entries: List[SensitivityEntry] = []
+    scalers: List[Scaler] = []
     for name in parameters:
         try:
-            scale = PARAMETERS[name]
+            scalers.append(PARAMETERS[name])
         except KeyError:
             raise KeyError(f"unknown parameter {name!r}; "
                            f"known: {sorted(PARAMETERS)}") from None
-        low = value_of(scale(config.calibration, 1.0 - relative))
-        high = value_of(scale(config.calibration, 1.0 + relative))
-        entries.append(SensitivityEntry(parameter=name,
-                                        nominal_mj=nominal,
-                                        low_mj=low, high_mj=high))
+
+    # One config per evaluated point: nominal, then (low, high) pairs.
+    calibrations = [config.calibration]
+    for scale in scalers:
+        calibrations.append(scale(config.calibration, 1.0 - relative))
+        calibrations.append(scale(config.calibration, 1.0 + relative))
+    configs = [dataclasses.replace(config, calibration=cal)
+               for cal in calibrations]
+
+    if method == "analytic":
+        values = [extract(predict(point)) for point in configs]
+    else:
+        from .experiments import REPORTED_NODE, _resolve
+        results = _resolve(executor).run_configs(configs)
+        values = [extract(result.node(REPORTED_NODE))
+                  for result in results]
+
+    nominal = values[0]
+    entries: List[SensitivityEntry] = []
+    for index, name in enumerate(parameters):
+        entries.append(SensitivityEntry(
+            parameter=name, nominal_mj=nominal,
+            low_mj=values[1 + 2 * index],
+            high_mj=values[2 + 2 * index]))
     entries.sort(key=lambda e: e.swing_mj, reverse=True)
     return entries
 

@@ -13,9 +13,10 @@ from typing import Optional
 
 from ..core.calibration import ModelCalibration
 from ..core.losses import RadioEnergyCategory
-from ..net.scenario import BanScenario, BanScenarioConfig
+from ..exec import ScenarioExecutor
+from ..net.scenario import BanScenarioConfig
 from .closed_form import predict
-from .experiments import TABLE_REPRODUCERS, reproduce_figure4
+from .experiments import _resolve, reproduce_all_tables, reproduce_figure4
 from .figures import render_figure4
 from .validation import validate_all
 
@@ -28,8 +29,14 @@ def _section(title: str) -> str:
 
 
 def full_report(measure_s: float = 60.0, seed: int = 0,
-                calibration: Optional[ModelCalibration] = None) -> str:
-    """Regenerate the complete evaluation as one text report."""
+                calibration: Optional[ModelCalibration] = None,
+                executor: Optional[ScenarioExecutor] = None) -> str:
+    """Regenerate the complete evaluation as one text report.
+
+    With a parallel and/or caching ``executor``, the table rows, the
+    figure and the taxonomy scenario all route through it; a cache
+    section at the end reports hit/miss counts for the whole report.
+    """
     parts = [
         "Reproduction report — Rincon et al., \"OS-Based Sensor Node "
         "Platform and Energy\nEstimation Model for Health-Care Wireless "
@@ -38,18 +45,16 @@ def full_report(measure_s: float = 60.0, seed: int = 0,
         f"(paper: 60 s); seed {seed}.",
     ]
 
-    results = {}
-    for table_id in sorted(TABLE_REPRODUCERS):
-        reproduce = TABLE_REPRODUCERS[table_id]
-        result = reproduce(measure_s=measure_s, seed=seed,
-                           calibration=calibration)
-        results[table_id] = result
+    results = reproduce_all_tables(measure_s=measure_s, seed=seed,
+                                   calibration=calibration,
+                                   executor=executor)
+    for table_id in sorted(results):
         parts.append(_section(f"{table_id.upper()}"))
-        parts.append(result.render())
+        parts.append(results[table_id].render())
 
     parts.append(_section("FIGURE 4"))
     figure = reproduce_figure4(measure_s=measure_s, seed=seed,
-                               calibration=calibration)
+                               calibration=calibration, executor=executor)
     parts.append(render_figure4(figure))
 
     parts.append(_section("VALIDATION SUMMARY"))
@@ -72,12 +77,17 @@ def full_report(measure_s: float = 60.0, seed: int = 0,
         f"uC {simulated.mcu_ours_mj:.1f} mJ")
 
     parts.append(_section("LOSS TAXONOMY (Table 1 row 1, node1)"))
-    node = BanScenario(config).run().node("node1")
+    node = _resolve(executor).run_configs([config])[0].node("node1")
     assert node.losses is not None
     for category in RadioEnergyCategory:
         energy = node.losses.energy_j.get(category, 0.0) * 1e3
         parts.append(f"  {category.value:<16} {energy:8.1f} mJ  "
                      f"({100 * node.losses.fraction(category):5.1f}%)")
+
+    if executor is not None and executor.cache is not None:
+        parts.append(_section("RESULT CACHE"))
+        parts.append(f"  {executor.cache.stats} "
+                     f"(dir: {executor.cache.root})")
 
     return "\n".join(parts)
 

@@ -12,11 +12,12 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.report import NodeEnergyResult
-from ..net.scenario import BanScenario, BanScenarioConfig
-from .experiments import REPORTED_NODE
+from ..exec import ScenarioExecutor
+from ..net.scenario import BanScenarioConfig
+from .experiments import REPORTED_NODE, _resolve
 
 
 @dataclass(frozen=True)
@@ -34,55 +35,65 @@ class SweepPoint:
 
 def sweep_scenarios(base: BanScenarioConfig, parameter: str,
                     values: Sequence[float],
-                    node_id: str = REPORTED_NODE) -> List[SweepPoint]:
+                    node_id: str = REPORTED_NODE,
+                    executor: Optional[ScenarioExecutor] = None
+                    ) -> List[SweepPoint]:
     """Run ``base`` once per value of ``parameter``.
 
     ``parameter`` must be a field of :class:`BanScenarioConfig`; each
     run uses ``dataclasses.replace`` so the base config is untouched.
+    An :class:`~repro.exec.ScenarioExecutor` runs the points in
+    parallel and/or from cache; results are in value order either way.
     """
     if parameter not in {f.name for f in dataclasses.fields(base)}:
         raise ValueError(
             f"{parameter!r} is not a BanScenarioConfig field")
-    points: List[SweepPoint] = []
-    for value in values:
-        config = dataclasses.replace(base, **{parameter: value})
-        result = BanScenario(config).run()
-        points.append(SweepPoint(value=float(value),
-                                 node=result.node(node_id)))
-    return points
+    return sweep_custom(
+        base, values,
+        lambda cfg, v: dataclasses.replace(cfg, **{parameter: v}),
+        node_id=node_id, executor=executor)
 
 
 def sweep_custom(base: BanScenarioConfig, values: Sequence[float],
                  make_config: Callable[[BanScenarioConfig, float],
                                        BanScenarioConfig],
-                 node_id: str = REPORTED_NODE) -> List[SweepPoint]:
+                 node_id: str = REPORTED_NODE,
+                 executor: Optional[ScenarioExecutor] = None
+                 ) -> List[SweepPoint]:
     """Sweep with an arbitrary config transformation per value."""
-    points: List[SweepPoint] = []
-    for value in values:
-        result = BanScenario(make_config(base, value)).run()
-        points.append(SweepPoint(value=float(value),
-                                 node=result.node(node_id)))
-    return points
+    configs = [make_config(base, value) for value in values]
+    results = _resolve(executor).run_configs(configs)
+    return [SweepPoint(value=float(value), node=result.node(node_id))
+            for value, result in zip(values, results)]
 
 
 def sweep_cycle_ms(base: BanScenarioConfig,
-                   cycles_ms: Sequence[float]) -> List[SweepPoint]:
+                   cycles_ms: Sequence[float],
+                   executor: Optional[ScenarioExecutor] = None
+                   ) -> List[SweepPoint]:
     """Sweep the static-TDMA cycle length."""
-    return sweep_scenarios(base, "cycle_ms", cycles_ms)
+    return sweep_scenarios(base, "cycle_ms", cycles_ms,
+                           executor=executor)
 
 
 def sweep_num_nodes(base: BanScenarioConfig,
-                    counts: Sequence[int]) -> List[SweepPoint]:
+                    counts: Sequence[int],
+                    executor: Optional[ScenarioExecutor] = None
+                    ) -> List[SweepPoint]:
     """Sweep the network size (dynamic-TDMA cycle follows)."""
     return sweep_custom(
         base, [float(c) for c in counts],
-        lambda cfg, v: dataclasses.replace(cfg, num_nodes=int(v)))
+        lambda cfg, v: dataclasses.replace(cfg, num_nodes=int(v)),
+        executor=executor)
 
 
 def sweep_heart_rate(base: BanScenarioConfig,
-                     rates_bpm: Sequence[float]) -> List[SweepPoint]:
+                     rates_bpm: Sequence[float],
+                     executor: Optional[ScenarioExecutor] = None
+                     ) -> List[SweepPoint]:
     """Sweep the input heart rate (Rpeak traffic scales with it)."""
-    return sweep_scenarios(base, "heart_rate_bpm", rates_bpm)
+    return sweep_scenarios(base, "heart_rate_bpm", rates_bpm,
+                           executor=executor)
 
 
 def as_table(points: Sequence[SweepPoint],

@@ -12,6 +12,12 @@ Subcommands:
 * ``explain`` — the closed-form analytic derivation for a scenario;
 * ``baseline`` — the model-fidelity ladder (airtime-only vs full);
 * ``interference`` — two adjacent BANs on one channel.
+
+Every subcommand accepts ``--jobs N`` (fan independent scenarios out
+over N worker processes; output identical to sequential) and
+``--cache`` / ``--cache-dir`` (memoize results on disk; see
+``docs/performance.md``).  Commands that run a single scenario ignore
+``--jobs``.
 """
 
 from __future__ import annotations
@@ -23,6 +29,7 @@ from typing import List, Optional
 from .analysis.closed_form import explain as explain_analytic
 from .analysis.experiments import (
     TABLE_REPRODUCERS,
+    reproduce_all_tables,
     reproduce_figure4,
 )
 from .analysis.export import network_records, to_csv, to_json
@@ -32,6 +39,8 @@ from .analysis.validation import validate_all
 from .analysis.waveforms import WaveformProbe
 from .baselines.naive import fidelity_ladder
 from .core.report import render_loss_breakdown, render_table
+from .exec import ResultCache, ScenarioExecutor
+from .exec.cache import DEFAULT_CACHE_DIR
 from .hw.battery import CR2477, LIPO_160
 from .net.multi import MultiBanScenario
 from .net.scenario import APPS, MACS, BanScenario, BanScenarioConfig, \
@@ -46,6 +55,33 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="measurement window in seconds (default 60)")
     parser.add_argument("--seed", type=int, default=0,
                         help="master random seed (default 0)")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for independent scenarios "
+                             "(default 1 = in-process; 0 = CPU count)")
+    parser.add_argument("--cache", action="store_true",
+                        help="memoize scenario results on disk "
+                             f"(in {DEFAULT_CACHE_DIR}/ unless "
+                             "--cache-dir is given)")
+    parser.add_argument("--cache-dir", metavar="PATH", default=None,
+                        help="result-cache directory (implies --cache)")
+
+
+def _executor_from_args(args: argparse.Namespace) -> ScenarioExecutor:
+    """Build the scenario executor the batch commands run through."""
+    if args.jobs < 0:
+        raise SystemExit(
+            f"repro-ban: error: --jobs must be >= 0, got {args.jobs}")
+    cache = None
+    if args.cache or args.cache_dir is not None:
+        cache = ResultCache(root=args.cache_dir)
+    jobs = None if args.jobs == 0 else args.jobs
+    return ScenarioExecutor(jobs=jobs, cache=cache)
+
+
+def _print_cache_stats(executor: ScenarioExecutor) -> None:
+    if executor.cache is not None:
+        print(f"\ncache: {executor.cache.stats} "
+              f"(dir: {executor.cache.root})")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -134,31 +170,41 @@ def build_parser() -> argparse.ArgumentParser:
     sensitivity_parser.add_argument(
         "--quantity", choices=("total", "radio", "mcu"),
         default="total")
+    sensitivity_parser.add_argument(
+        "--method", choices=("analytic", "simulate"), default="analytic",
+        help="analytic = instant closed form; simulate = one full "
+             "discrete-event run per perturbation (use --jobs)")
     return parser
 
 
 def _cmd_table(table_id: str, args: argparse.Namespace) -> int:
+    executor = _executor_from_args(args)
     result = TABLE_REPRODUCERS[table_id](measure_s=args.measure_s,
-                                         seed=args.seed)
+                                         seed=args.seed,
+                                         executor=executor)
     print(result.render())
+    _print_cache_stats(executor)
     return 0
 
 
 def _cmd_figure4(args: argparse.Namespace) -> int:
-    result = reproduce_figure4(measure_s=args.measure_s, seed=args.seed)
+    executor = _executor_from_args(args)
+    result = reproduce_figure4(measure_s=args.measure_s, seed=args.seed,
+                               executor=executor)
     print(render_figure4(result))
+    _print_cache_stats(executor)
     return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    results = {
-        table_id: reproduce(measure_s=args.measure_s, seed=args.seed)
-        for table_id, reproduce in TABLE_REPRODUCERS.items()
-    }
+    executor = _executor_from_args(args)
+    results = reproduce_all_tables(measure_s=args.measure_s,
+                                   seed=args.seed, executor=executor)
     for table_id in sorted(results):
         print(results[table_id].render())
         print()
     print(validate_all(results).render())
+    _print_cache_stats(executor)
     return 0
 
 
@@ -261,18 +307,23 @@ def _cmd_interference(args: argparse.Namespace) -> int:
 
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
     from .analysis.sensitivity import render_tornado, tornado
+    executor = _executor_from_args(args)
     entries = tornado(_scenario_config(args), relative=args.relative,
-                      quantity=args.quantity)
+                      quantity=args.quantity, method=args.method,
+                      executor=executor)
     print(f"Sensitivity of {args.quantity} energy "
           f"({args.app} over {args.mac} MAC, {args.measure_s:.0f} s) "
-          f"to +/-{100 * args.relative:.0f}% parameter perturbations:\n")
+          f"to +/-{100 * args.relative:.0f}% parameter perturbations "
+          f"[{args.method}]:\n")
     print(render_tornado(entries))
+    _print_cache_stats(executor)
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.summary import full_report
-    text = full_report(measure_s=args.measure_s, seed=args.seed)
+    text = full_report(measure_s=args.measure_s, seed=args.seed,
+                       executor=_executor_from_args(args))
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(text + "\n")

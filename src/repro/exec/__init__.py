@@ -1,0 +1,31 @@
+"""Parallel scenario execution and deterministic result caching.
+
+This package is the batch layer between the single-scenario simulator
+(:mod:`repro.net.scenario`) and the analysis code that evaluates many
+independent scenarios (tables, sweeps, replications, sensitivity,
+multi-BAN studies):
+
+* :mod:`repro.exec.executor` — :class:`ScenarioExecutor` fans
+  independent :class:`~repro.net.scenario.BanScenarioConfig`s out over
+  worker processes, returning results in submission order so output is
+  bit-identical to the sequential path.
+* :mod:`repro.exec.cache` — :class:`ResultCache` memoizes scenario
+  results on disk, keyed by a content hash of the canonical config
+  serialization plus a code-version salt, so regenerating tables after
+  an unrelated edit is near-free.
+
+Every analysis entry point accepts ``jobs``/``cache`` arguments (and
+the CLI exposes ``--jobs N`` / ``--cache``) that route through here.
+"""
+
+from .cache import CacheStats, ResultCache, Uncacheable, config_fingerprint
+from .executor import ScenarioExecutor, run_configs
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "ScenarioExecutor",
+    "Uncacheable",
+    "config_fingerprint",
+    "run_configs",
+]

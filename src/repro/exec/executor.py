@@ -1,0 +1,148 @@
+"""Process-parallel execution of independent BAN scenarios.
+
+Every table row, sweep point, replication seed and multi-BAN parameter
+set is an independent :class:`~repro.net.scenario.BanScenarioConfig`
+evaluated by a deterministic simulator, which makes batch evaluation
+embarrassingly parallel.  :class:`ScenarioExecutor` fans a batch out
+over a :class:`concurrent.futures.ProcessPoolExecutor` and returns
+results **in submission order**, so parallel output is bit-identical to
+the sequential path — determinism is the contract, parallelism only
+changes wall-clock time.
+
+Fallback rules (all silent, all order-preserving):
+
+* ``jobs=1`` runs everything in-process — same code path the worker
+  runs, convenient for debugging and profiling.
+* Configs that cannot be pickled (e.g. a lambda
+  ``sync_policy_factory``) are detected up front and evaluated
+  in-process; the rest of the batch still uses the pool.
+* If the platform cannot start worker processes at all, the whole
+  batch falls back in-process.
+
+An optional :class:`~repro.exec.cache.ResultCache` short-circuits
+configs whose results are already on disk; only the misses are
+dispatched to workers.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Sequence
+
+from .cache import ResultCache
+
+
+def _run_config_worker(config: Any) -> Any:
+    """Build and run one scenario (module-level: must be picklable)."""
+    from ..net.scenario import BanScenario
+    return BanScenario(config).run()
+
+
+def default_jobs() -> int:
+    """Worker count used for ``jobs=None``: the machine's CPU count."""
+    return os.cpu_count() or 1
+
+
+def _picklable(value: Any) -> bool:
+    try:
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        return True
+    except (pickle.PicklingError, TypeError, AttributeError):
+        return False
+
+
+class ScenarioExecutor:
+    """Runs batches of independent scenario configs, optionally parallel.
+
+    Args:
+        jobs: worker process count.  ``1`` (the default) executes
+            in-process; ``None`` uses :func:`default_jobs`.
+        cache: optional :class:`ResultCache` consulted before running
+            and updated after; its ``stats`` field accumulates
+            hit/miss counts across batches.
+    """
+
+    def __init__(self, jobs: Optional[int] = 1,
+                 cache: Optional[ResultCache] = None) -> None:
+        if jobs is not None and jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = default_jobs() if jobs is None else jobs
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    def map(self, fn: Callable[[Any], Any], items: Sequence[Any],
+            ) -> List[Any]:
+        """Apply picklable ``fn`` to each item; results in item order.
+
+        The generic machinery behind :meth:`run_configs`, exposed for
+        batch entry points that need a custom per-item function (e.g.
+        multi-BAN runs).  Unpicklable items are evaluated in-process;
+        so is everything when ``jobs == 1`` or the pool cannot start.
+        """
+        items = list(items)
+        if self.jobs == 1 or len(items) <= 1:
+            return [fn(item) for item in items]
+
+        skip = {index for index, item in enumerate(items)
+                if not _picklable(item)}
+        if not _picklable(fn):
+            skip = set(range(len(items)))
+        pooled = [index for index in range(len(items))
+                  if index not in skip]
+        results: List[Any] = [None] * len(items)
+        if pooled:
+            try:
+                workers = min(self.jobs, len(pooled))
+                with ProcessPoolExecutor(max_workers=workers) as pool:
+                    futures = [(index, pool.submit(fn, items[index]))
+                               for index in pooled]
+                    for index, future in futures:
+                        results[index] = future.result()
+            except (OSError, BrokenProcessPool, pickle.PicklingError):
+                # Pool unavailable on this platform: evaluate the
+                # pooled share where we are (determinism makes any
+                # partially computed results safe to recompute).
+                skip.update(pooled)
+        for index in sorted(skip):
+            results[index] = fn(items[index])
+        return results
+
+    def run_configs(self, configs: Sequence[Any]) -> List[Any]:
+        """Evaluate each config; results in submission order.
+
+        Cached results are returned without running; only misses are
+        dispatched (in their original relative order, so sequential
+        and parallel runs stay bit-identical).
+        """
+        configs = list(configs)
+        cache = self.cache
+        if cache is None:
+            return self.map(_run_config_worker, configs)
+
+        results: List[Any] = [None] * len(configs)
+        miss_indices: List[int] = []
+        for index, config in enumerate(configs):
+            cached = cache.get(config)
+            if cached is not None:
+                results[index] = cached
+            else:
+                miss_indices.append(index)
+        if miss_indices:
+            fresh = self.map(_run_config_worker,
+                             [configs[i] for i in miss_indices])
+            for index, result in zip(miss_indices, fresh):
+                results[index] = result
+                cache.put(configs[index], result)
+        return results
+
+
+def run_configs(configs: Sequence[Any], jobs: Optional[int] = 1,
+                cache: Optional[ResultCache] = None) -> List[Any]:
+    """One-call convenience: ``ScenarioExecutor(jobs, cache).run_configs``."""
+    return ScenarioExecutor(jobs=jobs, cache=cache).run_configs(configs)
+
+
+__all__ = ["ScenarioExecutor", "default_jobs", "run_configs"]

@@ -9,7 +9,14 @@ This package provides the event-driven core every other layer is built on:
 * :mod:`repro.sim.trace` — opt-in event tracing.
 """
 
-from .events import Event, EventQueue, SimulationError
+from .events import (
+    Event,
+    EventEntry,
+    EventQueue,
+    SimulationError,
+    cancel_event,
+    event_cancelled,
+)
 from .kernel import Simulator
 from .rng import RngRegistry
 from .simtime import (
@@ -31,7 +38,10 @@ from .trace import TraceRecord, TraceRecorder
 
 __all__ = [
     "Event",
+    "EventEntry",
     "EventQueue",
+    "cancel_event",
+    "event_cancelled",
     "SimulationError",
     "Simulator",
     "RngRegistry",

@@ -16,13 +16,29 @@ Design notes
 * Exceptions raised inside callbacks propagate out of ``run*`` unchanged,
   annotated with the event label — silent event loss would make energy
   figures quietly wrong.
+* The ``run*`` loops are the simulator's hottest code: they operate on
+  the queue's raw heap of :class:`~repro.sim.events.Event` entries
+  (peek + pop fused into one pass, slots read by index) and branch on
+  ``trace is None`` once per run instead of once per event.  Event
+  *order* is identical to the straightforward peek/pop formulation —
+  the heap key is still (time, seq) — so traces, goldens and energy
+  figures are byte-identical.
 """
 
 from __future__ import annotations
 
+from heapq import heappop, heappush
 from typing import Callable, List, Optional
 
-from .events import Event, EventQueue, SimulationError
+from .events import (
+    EVT_CALLBACK,
+    EVT_CANCELLED,
+    EVT_LABEL,
+    EVT_TIME,
+    EventEntry,
+    EventQueue,
+    SimulationError,
+)
 from .rng import RngRegistry
 from .trace import TraceRecorder
 
@@ -37,6 +53,9 @@ class Simulator:
         trace: optional :class:`TraceRecorder`; when provided, every
             dispatched event is logged to it.
     """
+
+    __slots__ = ("_now", "_queue", "_running", "_dispatched", "rng",
+                 "trace", "_end_hooks")
 
     def __init__(self, seed: int = 0,
                  trace: Optional[TraceRecorder] = None) -> None:
@@ -65,30 +84,44 @@ class Simulator:
     # Scheduling
     # ------------------------------------------------------------------
     def at(self, time: int, callback: Callable[[], None],
-           label: str = "") -> Event:
+           label: str = "") -> EventEntry:
         """Schedule ``callback`` at absolute ``time``.
 
         Raises :class:`SimulationError` if ``time`` is in the past.
         Scheduling *at the current instant* is allowed and runs after all
         callbacks already queued for that instant (FIFO), matching TinyOS
-        task-post semantics.
+        task-post semantics.  The returned entry can be cancelled with
+        :func:`~repro.sim.events.cancel_event`.
         """
         if time < self._now:
             raise SimulationError(
                 f"cannot schedule {label!r} at {time} ticks: "
                 f"clock already at {self._now}")
-        return self._queue.push(time, callback, label)
+        # Inlined EventQueue.push (this is the scheduling hot path; see
+        # the module docstring).
+        queue = self._queue
+        seq = queue._next_seq
+        queue._next_seq = seq + 1
+        event = [time, seq, False, callback, label]
+        heappush(queue._heap, event)
+        return event
 
     def after(self, delay: int, callback: Callable[[], None],
-              label: str = "") -> Event:
+              label: str = "") -> EventEntry:
         """Schedule ``callback`` ``delay`` ticks from now."""
         if delay < 0:
             raise SimulationError(
                 f"cannot schedule {label!r} with negative delay {delay}")
-        return self._queue.push(self._now + delay, callback, label)
+        # Inlined EventQueue.push (scheduling hot path).
+        queue = self._queue
+        seq = queue._next_seq
+        queue._next_seq = seq + 1
+        event = [self._now + delay, seq, False, callback, label]
+        heappush(queue._heap, event)
+        return event
 
     def call_soon(self, callback: Callable[[], None],
-                  label: str = "") -> Event:
+                  label: str = "") -> EventEntry:
         """Schedule ``callback`` at the current instant (after queued peers)."""
         return self._queue.push(self._now, callback, label)
 
@@ -113,18 +146,61 @@ class Simulator:
         if end_time < self._now:
             raise SimulationError(
                 f"end time {end_time} is before current time {self._now}")
+        heap = self._queue._heap
+        trace = self.trace
+        # Local aliases keep the per-event loop free of global lookups.
+        # Pop first and push the (rare) past-horizon head back rather
+        # than peeking every iteration; the pushed-back entry keeps its
+        # (time, seq) key, so the dispatch order is unchanged.
+        pop = heappop
+        time_i, cancelled_i = EVT_TIME, EVT_CANCELLED
+        callback_i, label_i = EVT_CALLBACK, EVT_LABEL
+        dispatched = 0
         self._running = True
         try:
-            while True:
-                next_time = self._queue.peek_time()
-                if next_time is None or next_time > end_time:
-                    break
-                event = self._queue.pop()
-                assert event is not None  # peek_time said there is one
-                self._now = event.time
-                self._dispatch(event)
+            if trace is None:
+                while heap:
+                    event = pop(heap)
+                    time = event[time_i]
+                    if time > end_time:
+                        heappush(heap, event)
+                        break
+                    if event[cancelled_i]:
+                        continue
+                    self._now = time
+                    dispatched += 1
+                    try:
+                        event[callback_i]()
+                    except SimulationError:
+                        raise
+                    except Exception as exc:
+                        raise SimulationError(
+                            f"event {event[label_i]!r} at t={time} "
+                            f"failed: {exc}") from exc
+            else:
+                record = trace.record
+                while heap:
+                    event = pop(heap)
+                    time = event[time_i]
+                    if time > end_time:
+                        heappush(heap, event)
+                        break
+                    if event[cancelled_i]:
+                        continue
+                    self._now = time
+                    dispatched += 1
+                    record(time, "kernel", "dispatch", event[label_i])
+                    try:
+                        event[callback_i]()
+                    except SimulationError:
+                        raise
+                    except Exception as exc:
+                        raise SimulationError(
+                            f"event {event[label_i]!r} at t={time} "
+                            f"failed: {exc}") from exc
         finally:
             self._running = False
+            self._dispatched += dispatched
         self._now = end_time
         for hook in self._end_hooks:
             hook()
@@ -136,11 +212,13 @@ class Simulator:
         (periodic timers make a truly empty queue unreachable); hitting the
         limit raises :class:`SimulationError`.
         """
+        queue = self._queue
+        trace = self.trace
         self._running = True
         dispatched = 0
         try:
             while True:
-                event = self._queue.pop()
+                event = queue.pop()
                 if event is None:
                     break
                 dispatched += 1
@@ -148,28 +226,32 @@ class Simulator:
                     raise SimulationError(
                         f"run_all exceeded {max_events} events; "
                         "use run_until for scenarios with periodic timers")
-                self._now = event.time
-                self._dispatch(event)
+                time = event[EVT_TIME]
+                self._now = time
+                self._dispatched += 1
+                if trace is not None:
+                    trace.record(time, "kernel", "dispatch",
+                                 event[EVT_LABEL])
+                try:
+                    event[EVT_CALLBACK]()
+                except SimulationError:
+                    raise
+                except Exception as exc:
+                    raise SimulationError(
+                        f"event {event[EVT_LABEL]!r} at t={time} "
+                        f"failed: {exc}") from exc
         finally:
             self._running = False
         for hook in self._end_hooks:
             hook()
 
-    def _dispatch(self, event: Event) -> None:
-        self._dispatched += 1
-        if self.trace is not None:
-            self.trace.record(self._now, "kernel", "dispatch", event.label)
-        try:
-            event.callback()
-        except SimulationError:
-            raise
-        except Exception as exc:  # annotate and re-raise
-            raise SimulationError(
-                f"event {event.label!r} at t={self._now} failed: {exc}"
-            ) from exc
-
     def pending_events(self) -> int:
-        """Number of events currently queued (including cancelled stubs)."""
+        """Number of *live* events currently queued.
+
+        Lazily cancelled stubs still sitting in the heap are excluded, so
+        this is the number of callbacks that would actually fire if the
+        clock ran forever.
+        """
         return len(self._queue)
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..sim.events import Event
+from ..sim.events import EVT_CANCELLED, EventEntry, cancel_event
 from ..sim.kernel import Simulator
 
 
@@ -28,7 +28,7 @@ class VirtualTimer:
         self._sim = sim
         self._handler = handler
         self.name = name
-        self._event: Optional[Event] = None
+        self._event: Optional[EventEntry] = None
         self._period: Optional[int] = None
         self._next_fire: Optional[int] = None
         self._fired_count = 0
@@ -60,14 +60,14 @@ class VirtualTimer:
     def stop(self) -> None:
         """Disarm; a pending fire is cancelled."""
         if self._event is not None:
-            self._event.cancel()
+            cancel_event(self._event)
             self._event = None
         self._next_fire = None
 
     @property
     def is_running(self) -> bool:
         """Whether a fire is pending."""
-        return self._event is not None and not self._event.cancelled
+        return self._event is not None and not self._event[EVT_CANCELLED]
 
     @property
     def fired_count(self) -> int:
@@ -81,7 +81,7 @@ class VirtualTimer:
         Power-management hint: the deep-sleep policy uses it to bound
         idle gaps.
         """
-        if self._event is None or self._event.cancelled:
+        if self._event is None or self._event[EVT_CANCELLED]:
             return None
         return self._next_fire
 

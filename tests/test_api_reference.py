@@ -28,5 +28,5 @@ class TestApiReference:
                         "repro.hw", "repro.phy", "repro.mac",
                         "repro.apps", "repro.signals", "repro.net",
                         "repro.analysis", "repro.baselines",
-                        "repro.data"):
+                        "repro.data", "repro.exec"):
             assert f"`{package}" in text, package

@@ -1,0 +1,191 @@
+"""Tests for the parallel scenario executor and the result cache.
+
+The executor's contract is *bit-identical output*: running a batch
+with N workers (or through the cache) must produce exactly the results
+the plain sequential loop produces.  These tests pin that contract for
+every batch entry point the analysis layer uses.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.analysis.experiments import (
+    reproduce_all_tables,
+    reproduce_table1,
+)
+from repro.analysis.replication import default_metrics, replicate
+from repro.analysis.sensitivity import tornado
+from repro.analysis.sweep import sweep_cycle_ms
+from repro.exec import ResultCache, ScenarioExecutor, Uncacheable, \
+    config_fingerprint, run_configs
+from repro.exec.cache import CacheStats
+from repro.mac.sync import DriftTrackingLead
+from repro.net.scenario import BanScenarioConfig
+
+#: Short window keeping each scenario fast; long enough to exercise
+#: warm-up plus several TDMA cycles.
+MEASURE_S = 1.0
+
+
+def _config(**overrides) -> BanScenarioConfig:
+    defaults = dict(mac="static", app="ecg_streaming", num_nodes=2,
+                    cycle_ms=30.0, measure_s=MEASURE_S, seed=7)
+    defaults.update(overrides)
+    return BanScenarioConfig(**defaults)
+
+
+class TestExecutorDeterminism:
+    def test_all_table_rows_parallel_equals_sequential(self):
+        """The acceptance property: every row of every table, jobs=4,
+        exactly equal to the sequential path."""
+        sequential = reproduce_all_tables(measure_s=MEASURE_S)
+        parallel = reproduce_all_tables(
+            measure_s=MEASURE_S, executor=ScenarioExecutor(jobs=4))
+        assert parallel == sequential
+
+    def test_single_table_parallel_equals_sequential(self):
+        sequential = reproduce_table1(measure_s=MEASURE_S)
+        parallel = reproduce_table1(measure_s=MEASURE_S,
+                                    executor=ScenarioExecutor(jobs=2))
+        assert parallel == sequential
+
+    def test_sweep_parallel_equals_sequential(self):
+        base = _config()
+        cycles = [30.0, 60.0, 90.0, 120.0]
+        sequential = sweep_cycle_ms(base, cycles)
+        parallel = sweep_cycle_ms(base, cycles,
+                                  executor=ScenarioExecutor(jobs=4))
+        assert parallel == sequential
+
+    def test_replicate_parallel_equals_sequential(self):
+        config = _config(ecg_noise_mv=0.1)
+        seeds = [1, 2, 3]
+        sequential = replicate(config, seeds, default_metrics())
+        parallel = replicate(config, seeds, default_metrics(),
+                             executor=ScenarioExecutor(jobs=3))
+        assert parallel == sequential
+
+    def test_run_configs_preserves_submission_order(self):
+        configs = [_config(cycle_ms=cycle)
+                   for cycle in (120.0, 30.0, 90.0)]
+        # Order is by submission, not completion: the sequential run
+        # defines the expected element order.
+        assert run_configs(configs, jobs=3) == run_configs(configs, jobs=1)
+
+    def test_unpicklable_config_falls_back_in_process(self):
+        """A lambda sync policy cannot cross a process boundary; the
+        executor must run that config in-process (and still use the
+        pool for the rest) with output unchanged."""
+        def batch():
+            return [
+                _config(),
+                _config(sync_policy_factory=lambda cal:
+                        DriftTrackingLead(50.0)),
+            ]
+
+        with pytest.raises((pickle.PicklingError, AttributeError,
+                            TypeError)):
+            pickle.dumps(batch()[1])
+        results = ScenarioExecutor(jobs=2).run_configs(batch())
+        expected = ScenarioExecutor(jobs=1).run_configs(batch())
+        assert results == expected
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            ScenarioExecutor(jobs=0)
+
+
+class TestSensitivitySimulate:
+    def test_simulate_matches_across_jobs(self):
+        config = _config(num_nodes=5, sampling_hz=205.0)
+        names = ("radio_rx_current", "mcu_active_current")
+        sequential = tornado(config, parameters=names, method="simulate")
+        parallel = tornado(config, parameters=names, method="simulate",
+                           executor=ScenarioExecutor(jobs=4))
+        assert parallel == sequential
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(ValueError, match="method"):
+            tornado(_config(), method="guess")
+
+
+class TestResultCache:
+    def test_second_run_hits_cache_with_identical_results(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        executor = ScenarioExecutor(jobs=1, cache=cache)
+        configs = [_config(), _config(cycle_ms=60.0)]
+        first = executor.run_configs(configs)
+        assert cache.stats.misses == 2 and cache.stats.hits == 0
+        second = executor.run_configs(
+            [_config(), _config(cycle_ms=60.0)])
+        assert cache.stats.hits == 2
+        assert second == first
+
+    def test_cache_survives_fresh_instance(self, tmp_path):
+        """A new ResultCache over the same directory (a new process,
+        in practice) still hits."""
+        ScenarioExecutor(cache=ResultCache(root=tmp_path)) \
+            .run_configs([_config()])
+        reopened = ResultCache(root=tmp_path)
+        result = ScenarioExecutor(cache=reopened).run_configs([_config()])
+        assert reopened.stats.hits == 1
+        assert result[0].node("node1").radio_mj > 0
+
+    def test_different_configs_different_keys(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        assert cache.key_for(_config()) != \
+            cache.key_for(_config(cycle_ms=60.0))
+        assert cache.key_for(_config()) == cache.key_for(_config())
+
+    def test_calibration_is_part_of_the_key(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        config = _config()
+        tweaked = dataclasses.replace(
+            config, calibration=dataclasses.replace(
+                config.calibration,
+                radio_rx_a=config.calibration.radio_rx_a * 1.1))
+        assert cache.key_for(config) != cache.key_for(tweaked)
+
+    def test_code_salt_invalidates(self, tmp_path):
+        old = ResultCache(root=tmp_path, salt="old-code")
+        new = ResultCache(root=tmp_path, salt="new-code")
+        old.put(_config(), "result")
+        assert new.get(_config()) is None  # different salt -> cold
+        assert old.get(_config()) == "result"
+
+    def test_callable_config_is_uncacheable(self, tmp_path):
+        config = _config()
+        config.sync_policy_factory = lambda cal: None
+        with pytest.raises(Uncacheable):
+            config_fingerprint(config)
+        cache = ResultCache(root=tmp_path)
+        assert cache.get(config) is None
+        assert cache.stats.uncacheable == 1
+        assert cache.put(config, "anything") is False
+        # The executor still runs such configs.
+        result = ScenarioExecutor(cache=cache).run_configs([_config()])
+        assert result[0].node("node1").radio_mj > 0
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = ResultCache(root=tmp_path)
+        cache.put(_config(), "value")
+        assert cache.clear() == 1
+        assert list(cache.entries()) == []
+
+    def test_stats_render(self):
+        stats = CacheStats(hits=2, misses=1, uncacheable=0)
+        assert stats.lookups == 3
+        assert "2 hit(s)" in str(stats)
+
+
+class TestFingerprint:
+    def test_fingerprint_is_deterministic(self):
+        assert config_fingerprint(_config()) == \
+            config_fingerprint(_config())
+
+    def test_float_encoding_is_exact(self):
+        a = config_fingerprint(_config(cycle_ms=30.0))
+        b = config_fingerprint(_config(cycle_ms=30.0 + 1e-12))
+        assert a != b

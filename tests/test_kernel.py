@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.sim.events import Event, EventQueue, SimulationError
+from repro.sim.events import (
+    EVT_LABEL,
+    Event,
+    EventQueue,
+    SimulationError,
+    cancel_event,
+    event_cancelled,
+)
 from repro.sim.kernel import Simulator
 from repro.sim.trace import TraceRecorder
 
@@ -13,13 +20,13 @@ class TestEventQueue:
         queue.push(30, lambda: None, "c")
         queue.push(10, lambda: None, "a")
         queue.push(20, lambda: None, "b")
-        assert [queue.pop().label for _ in range(3)] == ["a", "b", "c"]
+        assert [queue.pop()[EVT_LABEL] for _ in range(3)] == ["a", "b", "c"]
 
     def test_same_time_is_fifo(self):
         queue = EventQueue()
         for label in "abcde":
             queue.push(5, lambda: None, label)
-        assert [queue.pop().label for _ in range(5)] == list("abcde")
+        assert [queue.pop()[EVT_LABEL] for _ in range(5)] == list("abcde")
 
     def test_pop_empty_returns_none(self):
         assert EventQueue().pop() is None
@@ -28,14 +35,14 @@ class TestEventQueue:
         queue = EventQueue()
         first = queue.push(1, lambda: None, "dead")
         queue.push(2, lambda: None, "alive")
-        first.cancel()
-        assert queue.pop().label == "alive"
+        cancel_event(first)
+        assert queue.pop()[EVT_LABEL] == "alive"
 
     def test_peek_time_skips_cancelled(self):
         queue = EventQueue()
         first = queue.push(1, lambda: None, "dead")
         queue.push(7, lambda: None, "alive")
-        first.cancel()
+        cancel_event(first)
         assert queue.peek_time() == 7
 
     def test_peek_time_empty(self):
@@ -47,17 +54,50 @@ class TestEventQueue:
         queue.push(2, lambda: None)
         assert len(queue) == 2
 
+    def test_len_excludes_cancelled(self):
+        queue = EventQueue()
+        stub = queue.push(1, lambda: None, "dead")
+        queue.push(2, lambda: None, "alive")
+        queue.push(3, lambda: None, "alive-too")
+        cancel_event(stub)
+        assert len(queue) == 2
+
+    def test_len_empty_after_cancelling_everything(self):
+        queue = EventQueue()
+        entries = [queue.push(t, lambda: None) for t in (1, 2, 3)]
+        for entry in entries:
+            cancel_event(entry)
+        assert len(queue) == 0
+
     def test_clear(self):
         queue = EventQueue()
         queue.push(1, lambda: None)
         queue.clear()
         assert queue.pop() is None
 
-    def test_event_cancel_flag(self):
+    def test_cancel_event_flag(self):
+        queue = EventQueue()
+        entry = queue.push(1, lambda: None)
+        assert not event_cancelled(entry)
+        cancel_event(entry)
+        assert event_cancelled(entry)
+
+    def test_event_view_cancel_flag(self):
         event = Event(time=0, seq=0, callback=lambda: None)
         assert not event.cancelled
         event.cancel()
         assert event.cancelled
+
+    def test_event_view_is_valid_heap_entry(self):
+        # Event instances and raw entries share one layout, so a view
+        # pushed by hand interoperates with raw entries on the heap.
+        from heapq import heappush
+
+        queue = EventQueue()
+        queue.push(5, lambda: None, "raw")
+        heappush(queue._heap, Event(3, -1, lambda: None, "view"))
+        assert queue.pop()[EVT_LABEL] == "view"
+        assert queue.pop()[EVT_LABEL] == "raw"
 
 
 class TestSimulatorScheduling:
@@ -157,6 +197,17 @@ class TestSimulatorScheduling:
         sim.add_end_hook(lambda: seen.append(sim.now))
         sim.run_until(1234)
         assert seen == [1234]
+
+    def test_pending_events_counts_live_only(self):
+        sim = Simulator()
+        sim.at(10, lambda: None)
+        stub = sim.at(20, lambda: None)
+        sim.at(30, lambda: None)
+        assert sim.pending_events() == 3
+        cancel_event(stub)
+        assert sim.pending_events() == 2
+        sim.run_until(30)
+        assert sim.pending_events() == 0
 
     def test_events_dispatched_counter(self):
         sim = Simulator()

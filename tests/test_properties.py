@@ -15,7 +15,7 @@ from repro.mac.slots import (
     static_slot_offset,
 )
 from repro.mac.sync import CycleProportionalLead, DriftTrackingLead
-from repro.sim.events import EventQueue
+from repro.sim.events import EVT_LABEL, EventQueue
 from repro.sim.kernel import Simulator
 from repro.sim.simtime import bits_duration
 from repro.signals.ecg import SyntheticEcg
@@ -100,7 +100,7 @@ class TestEventQueueProperties:
             event = queue.pop()
             if event is None:
                 break
-            popped.append(event.label)
+            popped.append(event[EVT_LABEL])
         assert popped == expected
         # sanity: heapq agrees with sorted on the keyed pairs
         keyed = [(t, i) for i, t in enumerate(times)]
