@@ -56,6 +56,33 @@ def kernel_event_throughput() -> int:
     return count[0]
 
 
+def kernel_metrics_overhead() -> int:
+    """The throughput workload with a metrics registry *attached*.
+
+    Paired with :func:`kernel_event_throughput` (registry detached),
+    the two records quantify the observability layer's enabled-path
+    cost; the disabled path is unchanged code.  Chunked ``run_until``
+    calls exercise the per-call gauge/histogram writes.
+    """
+    from repro.obs import MetricsRegistry
+
+    sim = Simulator()
+    sim.metrics = MetricsRegistry()
+    count = [0]
+
+    def tick() -> None:
+        count[0] += 1
+        if count[0] < KERNEL_EVENTS:
+            sim.after(10, tick)
+
+    sim.after(10, tick)
+    horizon = 10 * KERNEL_EVENTS + 1
+    for end in range(horizon // 10, horizon + 1, horizon // 10):
+        sim.run_until(end)
+    sim.run_until(horizon)
+    return count[0]
+
+
 def ban_simulation_rate() -> int:
     """The densest table row (5 nodes, 30 ms cycle, 205 Hz streaming)
     over a short 5 s window; returns events dispatched."""
@@ -119,7 +146,8 @@ def main(argv=None) -> int:
                              "BENCH_kernel.json")
     args = parser.parse_args(argv)
 
-    workloads = [("kernel_event_throughput", kernel_event_throughput)]
+    workloads = [("kernel_event_throughput", kernel_event_throughput),
+                 ("kernel_metrics_overhead", kernel_metrics_overhead)]
     if args.full:
         workloads.append(("ban_simulation_rate_5s", ban_simulation_rate))
 

@@ -89,7 +89,42 @@ def full_report(measure_s: float = 60.0, seed: int = 0,
         parts.append(f"  {executor.cache.stats} "
                      f"(dir: {executor.cache.root})")
 
+    metrics = getattr(executor, "metrics", None)
+    if metrics is not None:
+        parts.append(_section("TELEMETRY DIGEST"))
+        parts.append(_metrics_digest(metrics))
+
     return "\n".join(parts)
+
+
+def _metrics_digest(registry) -> str:
+    """A few headline figures from a metrics registry, as text.
+
+    Keeps the report self-describing when the executor ran
+    instrumented; the full snapshot is what ``--metrics`` writes.
+    """
+    snapshot = registry.snapshot()
+    counters = snapshot["counters"]
+    gauges = snapshot["gauges"]
+    lines = []
+    events = counters.get("kernel/-/events_dispatched")
+    if events is not None:
+        lines.append(f"  kernel events dispatched: {events:,.0f}")
+    ran = counters.get("exec/-/scenarios_run")
+    if ran is not None:
+        cached = counters.get("exec/-/scenarios_cached", 0)
+        lines.append(f"  scenarios run: {ran:.0f} "
+                     f"(+{cached:.0f} from cache)")
+    utilization = gauges.get("exec/-/worker_utilization")
+    if utilization is not None:
+        workers = gauges.get("exec/-/workers", 1.0)
+        lines.append(f"  worker utilisation: {100 * utilization:.0f}% "
+                     f"of {workers:.0f} worker(s)")
+    corrupted = sum(value for key, value in counters.items()
+                    if key.startswith("radio/")
+                    and key.endswith("/corrupted"))
+    lines.append(f"  corrupted frames (all scenarios): {corrupted:,.0f}")
+    return "\n".join(lines) if lines else "  (registry empty)"
 
 
 __all__ = ["full_report"]

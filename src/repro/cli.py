@@ -18,6 +18,12 @@ over N worker processes; output identical to sequential) and
 ``--cache`` / ``--cache-dir`` (memoize results on disk; see
 ``docs/performance.md``).  Commands that run a single scenario ignore
 ``--jobs``.
+
+Telemetry (see ``docs/observability.md``): ``--metrics PATH`` writes a
+metrics snapshot (JSON, or Prometheus text when PATH ends in
+``.prom``), ``--trace-jsonl PATH`` streams the event trace as JSON
+lines (single-scenario commands), and ``--profile`` times event
+callbacks and prints the hottest labels.
 """
 
 from __future__ import annotations
@@ -45,6 +51,16 @@ from .hw.battery import CR2477, LIPO_160
 from .net.multi import MultiBanScenario
 from .net.scenario import APPS, MACS, BanScenario, BanScenarioConfig, \
     run_scenario
+from .obs import (
+    JsonlTraceSink,
+    MetricsRegistry,
+    SimulationProfiler,
+    SinkTraceRecorder,
+    attach_periodic_snapshots,
+    collect_cache_metrics,
+    collect_scenario_metrics,
+    collect_simulator_metrics,
+)
 
 #: Named batteries selectable from the command line.
 BATTERIES = {"cr2477": CR2477, "lipo160": LIPO_160}
@@ -64,9 +80,102 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "--cache-dir is given)")
     parser.add_argument("--cache-dir", metavar="PATH", default=None,
                         help="result-cache directory (implies --cache)")
+    parser.add_argument("--metrics", metavar="PATH", default=None,
+                        help="write a metrics snapshot (JSON, or "
+                             "Prometheus text if PATH ends in .prom)")
+    parser.add_argument("--trace-jsonl", metavar="PATH", default=None,
+                        help="stream the event trace as JSON lines "
+                             "(single-scenario commands)")
+    parser.add_argument("--profile", action="store_true",
+                        help="time event callbacks and print the "
+                             "hottest labels")
+    parser.add_argument("--metrics-period", type=float, default=5.0,
+                        metavar="S",
+                        help="sim-time period of trajectory snapshots "
+                             "recorded with --metrics (default 5)")
 
 
-def _executor_from_args(args: argparse.Namespace) -> ScenarioExecutor:
+class _Observability:
+    """One CLI invocation's telemetry wiring (flags -> obs objects).
+
+    Centralises what every subcommand needs: a registry when
+    ``--metrics`` is given, a profiler for ``--profile``, a JSONL sink
+    for ``--trace-jsonl``, and a ``finish`` step that folds cache
+    stats in, writes the outputs and prints the profile table.
+    """
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        self.metrics_path = getattr(args, "metrics", None)
+        self.trace_path = getattr(args, "trace_jsonl", None)
+        self.period_s = getattr(args, "metrics_period", 5.0)
+        self.registry = (MetricsRegistry()
+                         if self.metrics_path else None)
+        self.profiler = (SimulationProfiler()
+                         if getattr(args, "profile", False) else None)
+        self._sink: Optional[JsonlTraceSink] = None
+
+    def make_trace(self, trace_capacity: Optional[int] = None
+                   ) -> Optional[SinkTraceRecorder]:
+        """A sink-fanning recorder when ``--trace-jsonl`` is set."""
+        if self.trace_path is None:
+            return None
+        self._sink = JsonlTraceSink(self.trace_path)
+        return SinkTraceRecorder([self._sink],
+                                 capacity=trace_capacity)
+
+    def attach(self, sim, scenario=None) -> None:
+        """Instrument one kernel that runs in this process."""
+        if self.registry is not None:
+            sim.metrics = self.registry
+            if self.period_s > 0:
+                attach_periodic_snapshots(sim, self.registry,
+                                          scenario=scenario,
+                                          period_s=self.period_s)
+        if self.profiler is not None:
+            sim.profiler = self.profiler
+
+    def collect(self, scenario) -> None:
+        """Pull a finished scenario's models into the registry."""
+        if self.registry is None:
+            return
+        collect_scenario_metrics(scenario, self.registry)
+        collect_simulator_metrics(scenario.sim, self.registry)
+
+    def finish(self, executor: Optional[ScenarioExecutor] = None) -> None:
+        """Write snapshot/trace outputs and print the profile table."""
+        registry = self.registry
+        if registry is not None and executor is not None \
+                and executor.cache is not None:
+            collect_cache_metrics(executor.cache, registry)
+        if self.trace_path is not None and self._sink is None:
+            print("note: --trace-jsonl applies to single-scenario "
+                  "commands; ignored")
+        if self._sink is not None:
+            self._sink.close()
+            print(f"wrote {self.trace_path} "
+                  f"({self._sink.emitted} trace records)")
+        if registry is not None:
+            exported = (registry.to_prometheus()
+                        if self.metrics_path.endswith(".prom")
+                        else registry.to_json())
+            with open(self.metrics_path, "w") as handle:
+                handle.write(exported)
+            print(f"wrote {self.metrics_path}")
+        if self.profiler is not None:
+            print()
+            print(self.profiler.render_table())
+
+    def note_analytic(self) -> None:
+        """Warn once when telemetry flags hit an analytic command."""
+        if (self.metrics_path or self.trace_path
+                or self.profiler is not None):
+            print("note: telemetry flags are ignored by analytic "
+                  "commands (nothing is simulated)")
+
+
+def _executor_from_args(args: argparse.Namespace,
+                        obs: Optional[_Observability] = None
+                        ) -> ScenarioExecutor:
     """Build the scenario executor the batch commands run through."""
     if args.jobs < 0:
         raise SystemExit(
@@ -75,13 +184,20 @@ def _executor_from_args(args: argparse.Namespace) -> ScenarioExecutor:
     if args.cache or args.cache_dir is not None:
         cache = ResultCache(root=args.cache_dir)
     jobs = None if args.jobs == 0 else args.jobs
-    return ScenarioExecutor(jobs=jobs, cache=cache)
+    return ScenarioExecutor(
+        jobs=jobs, cache=cache,
+        metrics=obs.registry if obs is not None else None,
+        profiler=obs.profiler if obs is not None else None)
 
 
-def _print_cache_stats(executor: ScenarioExecutor) -> None:
-    if executor.cache is not None:
-        print(f"\ncache: {executor.cache.stats} "
-              f"(dir: {executor.cache.root})")
+def _print_cache_stats(executor: ScenarioExecutor,
+                       obs: Optional[_Observability] = None) -> None:
+    if executor.cache is None:
+        return
+    if obs is not None and obs.registry is not None:
+        return  # folded into the metrics snapshot by obs.finish()
+    print(f"\ncache: {executor.cache.stats} "
+          f"(dir: {executor.cache.root})")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -178,33 +294,39 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_table(table_id: str, args: argparse.Namespace) -> int:
-    executor = _executor_from_args(args)
+    obs = _Observability(args)
+    executor = _executor_from_args(args, obs)
     result = TABLE_REPRODUCERS[table_id](measure_s=args.measure_s,
                                          seed=args.seed,
                                          executor=executor)
     print(result.render())
-    _print_cache_stats(executor)
+    _print_cache_stats(executor, obs)
+    obs.finish(executor)
     return 0
 
 
 def _cmd_figure4(args: argparse.Namespace) -> int:
-    executor = _executor_from_args(args)
+    obs = _Observability(args)
+    executor = _executor_from_args(args, obs)
     result = reproduce_figure4(measure_s=args.measure_s, seed=args.seed,
                                executor=executor)
     print(render_figure4(result))
-    _print_cache_stats(executor)
+    _print_cache_stats(executor, obs)
+    obs.finish(executor)
     return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
-    executor = _executor_from_args(args)
+    obs = _Observability(args)
+    executor = _executor_from_args(args, obs)
     results = reproduce_all_tables(measure_s=args.measure_s,
                                    seed=args.seed, executor=executor)
     for table_id in sorted(results):
         print(results[table_id].render())
         print()
     print(validate_all(results).render())
-    _print_cache_stats(executor)
+    _print_cache_stats(executor, obs)
+    obs.finish(executor)
     return 0
 
 
@@ -218,11 +340,15 @@ def _scenario_config(args: argparse.Namespace,
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    scenario = BanScenario(_scenario_config(args,
-                                            join_protocol=args.join))
+    obs = _Observability(args)
+    config = _scenario_config(args, join_protocol=args.join)
+    scenario = BanScenario(
+        config, trace=obs.make_trace(config.trace_capacity))
+    obs.attach(scenario.sim, scenario)
     probe = (WaveformProbe.attach_to_scenario(scenario)
              if args.vcd else None)
     result = scenario.run()
+    obs.collect(scenario)
     headers = ["node", "radio (mJ)", "uC (mJ)", "ASIC (mJ)",
                "total (mJ)", "avg power (mW)"]
     rows = []
@@ -257,15 +383,18 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if probe is not None:
         probe.write_vcd(args.vcd)
         print(f"wrote {args.vcd} ({len(probe.signals)} signals)")
+    obs.finish()
     return 0
 
 
 def _cmd_explain(args: argparse.Namespace) -> int:
+    _Observability(args).note_analytic()
     print(explain_analytic(_scenario_config(args)))
     return 0
 
 
 def _cmd_baseline(args: argparse.Namespace) -> int:
+    _Observability(args).note_analytic()
     config = _scenario_config(args)
     rows = [(estimate.fidelity.value, estimate.radio_mj,
              estimate.mcu_mj, estimate.total_mj)
@@ -280,6 +409,7 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
 
 
 def _cmd_interference(args: argparse.Namespace) -> int:
+    obs = _Observability(args)
     configs = [
         BanScenarioConfig(mac="static", app="ecg_streaming", num_nodes=3,
                           cycle_ms=30.0, sampling_hz=205.0,
@@ -289,8 +419,13 @@ def _cmd_interference(args: argparse.Namespace) -> int:
                           measure_s=args.measure_s, seed=args.seed),
     ]
     multi = MultiBanScenario(configs, stagger_ms=args.stagger_ms,
-                             seed=args.seed)
+                             seed=args.seed, trace=obs.make_trace())
+    obs.attach(multi.sim)
     results = multi.run()
+    if obs.registry is not None:
+        for ban in multi.bans:
+            collect_scenario_metrics(ban, obs.registry)
+        collect_simulator_metrics(multi.sim, obs.registry)
     print(multi.interference_summary(results))
     print()
     rows = []
@@ -302,12 +437,14 @@ def _cmd_interference(args: argparse.Namespace) -> int:
     print(render_table(
         ["node", "radio (mJ)", "uC (mJ)", "overheard", "corrupted"],
         rows, title="Per-node figures under co-channel interference"))
+    obs.finish()
     return 0
 
 
 def _cmd_sensitivity(args: argparse.Namespace) -> int:
     from .analysis.sensitivity import render_tornado, tornado
-    executor = _executor_from_args(args)
+    obs = _Observability(args)
+    executor = _executor_from_args(args, obs)
     entries = tornado(_scenario_config(args), relative=args.relative,
                       quantity=args.quantity, method=args.method,
                       executor=executor)
@@ -316,20 +453,24 @@ def _cmd_sensitivity(args: argparse.Namespace) -> int:
           f"to +/-{100 * args.relative:.0f}% parameter perturbations "
           f"[{args.method}]:\n")
     print(render_tornado(entries))
-    _print_cache_stats(executor)
+    _print_cache_stats(executor, obs)
+    obs.finish(executor)
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from .analysis.summary import full_report
+    obs = _Observability(args)
+    executor = _executor_from_args(args, obs)
     text = full_report(measure_s=args.measure_s, seed=args.seed,
-                       executor=_executor_from_args(args))
+                       executor=executor)
     if args.out:
         with open(args.out, "w") as handle:
             handle.write(text + "\n")
         print(f"wrote {args.out}")
     else:
         print(text)
+    obs.finish(executor)
     return 0
 
 

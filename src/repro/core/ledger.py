@@ -164,6 +164,14 @@ class PowerStateLedger:
         """Total energy in millijoules (the unit the paper reports)."""
         return self.energy_j(state, tag) * 1e3
 
+    def seconds_by_state(self) -> Dict[str, float]:
+        """Residency in seconds per state name (the metrics view)."""
+        out: Dict[str, float] = defaultdict(float)
+        from ..sim.simtime import to_seconds
+        for (s, _), ticks in self._live_ticks().items():
+            out[s] += to_seconds(ticks)
+        return dict(out)
+
     def energy_by_state(self) -> Dict[str, float]:
         """Energy in joules per state name."""
         out: Dict[str, float] = defaultdict(float)

@@ -22,6 +22,14 @@ Fallback rules (all silent, all order-preserving):
 An optional :class:`~repro.exec.cache.ResultCache` short-circuits
 configs whose results are already on disk; only the misses are
 dispatched to workers.
+
+Observability: constructed with a
+:class:`~repro.obs.metrics.MetricsRegistry` (and optionally a
+:class:`~repro.obs.profiler.SimulationProfiler`), the executor has each
+worker build a private registry, run its scenario instrumented, and
+ship plain-data snapshots back; the main process merges them in
+submission order.  Counters merge additively, so ``jobs=N`` reports the
+same MAC/radio/MCU totals as a sequential run.
 """
 
 from __future__ import annotations
@@ -30,7 +38,9 @@ import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, List, Optional, Sequence
+from functools import partial
+from time import perf_counter
+from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from .cache import ResultCache
 
@@ -39,6 +49,33 @@ def _run_config_worker(config: Any) -> Any:
     """Build and run one scenario (module-level: must be picklable)."""
     from ..net.scenario import BanScenario
     return BanScenario(config).run()
+
+
+def _run_config_worker_obs(config: Any, profile: bool = False
+                           ) -> Tuple[Any, dict, Optional[dict]]:
+    """Run one scenario instrumented; ship snapshots, not objects.
+
+    Returns ``(result, metrics_snapshot, profiler_snapshot)``.  The
+    worker builds a private registry so merging in the parent is a
+    pure, order-independent fold over plain dicts.
+    """
+    from ..net.scenario import BanScenario
+    from ..obs import (GLOBAL, MetricsRegistry, SimulationProfiler,
+                       collect_scenario_metrics, collect_simulator_metrics)
+    registry = MetricsRegistry()
+    scenario = BanScenario(config)
+    scenario.sim.metrics = registry
+    profiler = SimulationProfiler() if profile else None
+    if profiler is not None:
+        scenario.sim.profiler = profiler
+    started = perf_counter()
+    result = scenario.run()
+    wall_s = perf_counter() - started
+    collect_scenario_metrics(scenario, registry)
+    collect_simulator_metrics(scenario.sim, registry)
+    registry.histogram("exec", GLOBAL, "scenario_wall_s").observe(wall_s)
+    return (result, registry.snapshot(),
+            profiler.snapshot() if profiler is not None else None)
 
 
 def default_jobs() -> int:
@@ -63,14 +100,23 @@ class ScenarioExecutor:
         cache: optional :class:`ResultCache` consulted before running
             and updated after; its ``stats`` field accumulates
             hit/miss counts across batches.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            when given, :meth:`run_configs` runs scenarios instrumented
+            and merges every worker's snapshot here.
+        profiler: optional
+            :class:`~repro.obs.profiler.SimulationProfiler` merging the
+            per-scenario callback timings (implies instrumented runs).
     """
 
     def __init__(self, jobs: Optional[int] = 1,
-                 cache: Optional[ResultCache] = None) -> None:
+                 cache: Optional[ResultCache] = None,
+                 metrics=None, profiler=None) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         self.jobs = default_jobs() if jobs is None else jobs
         self.cache = cache
+        self.metrics = metrics
+        self.profiler = profiler
 
     # ------------------------------------------------------------------
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any],
@@ -115,28 +161,77 @@ class ScenarioExecutor:
 
         Cached results are returned without running; only misses are
         dispatched (in their original relative order, so sequential
-        and parallel runs stay bit-identical).
+        and parallel runs stay bit-identical).  With ``metrics`` (or
+        ``profiler``) set, every fresh run is instrumented and its
+        snapshot merged — only the scenario *result* is cached, so
+        cache hits contribute no scenario metrics.
         """
         configs = list(configs)
+        observed = self.metrics is not None or self.profiler is not None
+        worker: Callable[[Any], Any] = _run_config_worker
+        if observed:
+            worker = partial(_run_config_worker_obs,
+                             profile=self.profiler is not None)
         cache = self.cache
-        if cache is None:
-            return self.map(_run_config_worker, configs)
+        batch_started = perf_counter()
 
         results: List[Any] = [None] * len(configs)
         miss_indices: List[int] = []
-        for index, config in enumerate(configs):
-            cached = cache.get(config)
-            if cached is not None:
-                results[index] = cached
-            else:
-                miss_indices.append(index)
+        if cache is None:
+            miss_indices = list(range(len(configs)))
+        else:
+            for index, config in enumerate(configs):
+                cached = cache.get(config)
+                if cached is not None:
+                    results[index] = cached
+                else:
+                    miss_indices.append(index)
         if miss_indices:
-            fresh = self.map(_run_config_worker,
+            fresh = self.map(worker,
                              [configs[i] for i in miss_indices])
+            if observed:
+                fresh = [self._absorb_observed(packed)
+                         for packed in fresh]
             for index, result in zip(miss_indices, fresh):
                 results[index] = result
-                cache.put(configs[index], result)
+                if cache is not None:
+                    cache.put(configs[index], result)
+        if observed:
+            self._record_batch_metrics(len(configs), len(miss_indices),
+                                       perf_counter() - batch_started)
         return results
+
+    # ------------------------------------------------------------------
+    # Observability plumbing
+    # ------------------------------------------------------------------
+    def _absorb_observed(self, packed: Tuple[Any, dict, Optional[dict]]
+                         ) -> Any:
+        """Merge one worker's snapshots; return the bare result."""
+        result, metrics_snapshot, profiler_snapshot = packed
+        if self.metrics is not None:
+            self.metrics.merge_snapshot(metrics_snapshot)
+        if self.profiler is not None and profiler_snapshot is not None:
+            self.profiler.merge_snapshot(profiler_snapshot)
+        return result
+
+    def _record_batch_metrics(self, total: int, fresh: int,
+                              batch_wall_s: float) -> None:
+        """Batch-level figures: size, pool width, worker utilisation."""
+        if self.metrics is None:
+            return
+        from ..obs import GLOBAL
+        registry = self.metrics
+        registry.counter("exec", GLOBAL, "scenarios_run").inc(fresh)
+        registry.counter("exec", GLOBAL,
+                         "scenarios_cached").inc(total - fresh)
+        registry.gauge("exec", GLOBAL, "workers").set(float(self.jobs))
+        registry.histogram("exec", GLOBAL,
+                           "batch_wall_s").observe(batch_wall_s)
+        busy = registry.histogram("exec", GLOBAL, "scenario_wall_s")
+        width = min(self.jobs, fresh) if fresh else 0
+        if width and batch_wall_s > 0.0:
+            registry.gauge("exec", GLOBAL, "worker_utilization").set(
+                min(1.0, busy.total / (batch_wall_s * width)))
 
 
 def run_configs(configs: Sequence[Any], jobs: Optional[int] = 1,

@@ -143,6 +143,23 @@ class Msp430:
         """Total MCU energy so far, in millijoules."""
         return self.ledger.energy_mj()
 
+    def observe_metrics(self, registry, node: str) -> None:
+        """Pull this MCU's figures into a metrics registry.
+
+        Per-state residency and energy as state timers, plus the
+        executed-cycle and wakeup counters.  Read-only: call once per
+        collected run.
+        """
+        residency = registry.state_timer("mcu", node, "residency_s")
+        for state, state_s in self.ledger.seconds_by_state().items():
+            residency.add(state, state_s)
+        energy = registry.state_timer("mcu", node, "energy_mj")
+        for state, joules in self.ledger.energy_by_state().items():
+            energy.add(state, 1e3 * joules)
+        registry.counter("mcu", node,
+                         "cycles_executed").inc(self._cycles_executed)
+        registry.counter("mcu", node, "wakeups").inc(self._wakeups)
+
     def reset_measurement(self) -> None:
         """Clear ledgers/counters at the start of a measurement window."""
         self.ledger.reset()

@@ -352,6 +352,30 @@ class Nrf2401:
         """Total radio energy so far, in millijoules."""
         return self.ledger.energy_mj()
 
+    def observe_metrics(self, registry, node: str) -> None:
+        """Pull this radio's figures into a metrics registry.
+
+        Records per-state residency and energy (state timers) plus the
+        traffic counters the MAC surveys evaluate on (data/control
+        TX/RX, overhearing, CRC-filtered corruption).  Read-only: call
+        once per collected run.
+        """
+        residency = registry.state_timer("radio", node, "residency_s")
+        for state, state_s in self.ledger.seconds_by_state().items():
+            residency.add(state, state_s)
+        energy = registry.state_timer("radio", node, "energy_mj")
+        for state, joules in self.ledger.energy_by_state().items():
+            energy.add(state, 1e3 * joules)
+        counter = registry.counter
+        counter("radio", node, "data_tx").inc(self._count_data_tx)
+        counter("radio", node, "data_rx").inc(self._count_data_rx)
+        counter("radio", node, "control_tx").inc(self._count_control_tx)
+        counter("radio", node, "control_rx").inc(self._count_control_rx)
+        counter("radio", node, "overheard").inc(self._count_overheard)
+        counter("radio", node, "corrupted").inc(self._count_corrupted)
+        counter("radio", node,
+                "transitions").inc(self.ledger.transitions)
+
     def reset_measurement(self) -> None:
         """Clear ledger, attribution and counters at measurement start."""
         self.ledger.reset()

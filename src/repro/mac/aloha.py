@@ -127,6 +127,17 @@ class AlohaNodeMac(Component):
     def _tx_done(self, outcome: TxOutcome) -> None:
         self.counters.data_sent += 1
 
+    def observe_metrics(self, registry, node: str) -> None:
+        """Pull the node's MAC counters and poll period.
+
+        ALOHA has no beacons or slots, so only the shared counters and
+        the transmission-opportunity period apply.  Read-only: call
+        once per collected run.
+        """
+        self.counters.observe_metrics(registry, node)
+        registry.gauge("mac", node, "poll_interval_ticks").set(
+            float(self.config.poll_interval_ticks))
+
 
 class AlohaBaseMac(Component):
     """Base-station side: a permanently listening collector."""
@@ -153,6 +164,10 @@ class AlohaBaseMac(Component):
     def current_cycle_ticks(self) -> int:
         """Alignment period for the scenario runner (poll interval)."""
         return self.config.poll_interval_ticks
+
+    def observe_metrics(self, registry, node: str) -> None:
+        """Pull the collector's MAC counters (no schedule to report)."""
+        self.counters.observe_metrics(registry, node)
 
     def on_start(self) -> None:
         self._radio.power_up()

@@ -78,6 +78,16 @@ class MacCounters:
     resyncs: int = 0
     software_discards: int = 0
 
+    def as_dict(self) -> dict:
+        """Field-name -> count mapping (the metrics/export view)."""
+        return {field: getattr(self, field)
+                for field in self.__dataclass_fields__}
+
+    def observe_metrics(self, registry, node: str) -> None:
+        """Pull every counter into ``registry`` under ``mac/<node>/``."""
+        for name, value in self.as_dict().items():
+            registry.counter("mac", node, name).inc(value)
+
 
 class NodeMac(Component):
     """Variant-independent node-side TDMA MAC.
@@ -208,6 +218,23 @@ class NodeMac(Component):
     def is_synced(self) -> bool:
         """Whether the node owns a slot and tracks the beacon schedule."""
         return self.state is NodeState.SYNCED
+
+    def observe_metrics(self, registry, node: str) -> None:
+        """Pull this MAC's protocol counters and sync figures.
+
+        Counters cover the per-cause events the WBAN MAC surveys
+        compare on (missed beacons, slot requests, resyncs, software
+        discards); gauges expose the sync state, owned slot and the
+        node's crystal skew (its systematic beacon-estimate drift
+        source).  Read-only: call once per collected run.
+        """
+        self.counters.observe_metrics(registry, node)
+        registry.gauge("mac", node, "synced").set(
+            1.0 if self.state is NodeState.SYNCED else 0.0)
+        registry.gauge("mac", node, "slot").set(
+            -1.0 if self._slot is None else float(self._slot))
+        registry.gauge("mac", node,
+                       "clock_skew_ppm").set(self._skew_ppm)
 
     @property
     def cycle_ticks(self) -> Optional[int]:
@@ -449,6 +476,23 @@ class BaseStationMac(Component):
     def current_cycle_ticks(self) -> int:
         """Public view of the cycle length currently in effect."""
         return self._current_cycle_ticks()
+
+    def observe_metrics(self, registry, node: str) -> None:
+        """Pull the base station's counters and schedule occupancy.
+
+        Slot occupancy (assigned / capacity) is the utilisation figure
+        TDMA evaluations report alongside the per-cause counters.
+        Read-only: call once per collected run.
+        """
+        self.counters.observe_metrics(registry, node)
+        schedule = self.schedule
+        registry.gauge("mac", node, "slots_assigned").set(
+            float(schedule.assigned_count))
+        registry.gauge("mac", node, "num_slots").set(
+            float(schedule.num_slots))
+        if schedule.num_slots:
+            registry.gauge("mac", node, "slot_occupancy").set(
+                schedule.assigned_count / schedule.num_slots)
 
     def _handle_slot_request(self, payload: SlotRequestPayload) -> None:
         """Variant-specific assignment policy."""

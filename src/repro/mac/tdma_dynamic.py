@@ -150,6 +150,21 @@ class DynamicTdmaBaseMac(BaseStationMac):
         return dynamic_cycle_ticks(self.config.slot_ticks,
                                    self.schedule.num_slots)
 
+    def observe_metrics(self, registry, node: str) -> None:
+        """Pull the base-station figures plus dynamic-TDMA specifics.
+
+        Adds the configured slot length, the *current* (grown) cycle
+        length and the inactivity-reclaim counter on top of the shared
+        occupancy gauges.
+        """
+        super().observe_metrics(registry, node)
+        registry.gauge("mac", node, "slot_ticks").set(
+            float(self.config.slot_ticks))
+        registry.gauge("mac", node, "cycle_ticks").set(
+            float(self._current_cycle_ticks()))
+        registry.counter("mac", node,
+                         "slots_reclaimed").inc(self.slots_reclaimed)
+
     def _handle_slot_request(self, payload: SlotRequestPayload) -> None:
         if self.schedule.slot_of(payload.requester) is not None:
             return  # duplicate request (grant beacon was lost): keep slot

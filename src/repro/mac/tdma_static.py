@@ -79,6 +79,12 @@ class StaticTdmaNodeMac(NodeMac):
     def _initial_cycle_ticks(self) -> int:
         return self.config.cycle_ticks
 
+    def observe_metrics(self, registry, node: str) -> None:
+        """Pull the base MAC figures plus the fixed cycle length."""
+        super().observe_metrics(registry, node)
+        registry.gauge("mac", node, "cycle_ticks").set(
+            float(self.config.cycle_ticks))
+
     def _cycle_from_beacon(self, payload: BeaconPayload) -> int:
         return payload.cycle_ticks
 
@@ -118,6 +124,12 @@ class StaticTdmaBaseMac(BaseStationMac):
 
     def _current_cycle_ticks(self) -> int:
         return self.config.cycle_ticks
+
+    def observe_metrics(self, registry, node: str) -> None:
+        """Pull the base-station figures plus the fixed cycle length."""
+        super().observe_metrics(registry, node)
+        registry.gauge("mac", node, "cycle_ticks").set(
+            float(self.config.cycle_ticks))
 
     def _handle_slot_request(self, payload: SlotRequestPayload) -> None:
         if self.schedule.slot_of(payload.requester) is not None:

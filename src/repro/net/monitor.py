@@ -15,10 +15,11 @@ negligible at the paper's scale).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..hw.battery import Battery
-from ..sim.simtime import seconds
+from ..sim.simtime import seconds, to_seconds
 from ..tinyos.timers import VirtualTimer
 from .node import SensorNode
 
@@ -36,12 +37,20 @@ class BatteryMonitor:
         sample_period_s: how often to integrate consumption.
         thresholds: SoC levels (descending or not) at which to fire
             callbacks once each, e.g. ``(0.5, 0.2, 0.05)``.
+        history_capacity: optional bound on retained (time, SoC)
+            samples; the oldest are dropped past it, so a multi-day
+            lifetime run no longer grows memory without limit.
+        metrics: optional :class:`~repro.obs.metrics.MetricsRegistry`;
+            each sample then also sets the ``battery/<node>/soc`` gauge
+            and appends to the ``battery/<node>/soc`` series.
     """
 
     def __init__(self, node: SensorNode, battery: Battery,
                  include_asic: bool = True,
                  sample_period_s: float = 1.0,
-                 thresholds: Tuple[float, ...] = (0.5, 0.2, 0.05)) -> None:
+                 thresholds: Tuple[float, ...] = (0.5, 0.2, 0.05),
+                 history_capacity: Optional[int] = None,
+                 metrics=None) -> None:
         if sample_period_s <= 0:
             raise ValueError(
                 f"sample period must be positive: {sample_period_s}")
@@ -55,7 +64,10 @@ class BatteryMonitor:
         self._pending = sorted(thresholds, reverse=True)
         self._fired: List[float] = []
         self._callbacks: Dict[float, List[ThresholdCallback]] = {}
-        self._history: List[Tuple[int, float]] = []
+        self._history: Deque[Tuple[int, float]] = \
+            deque(maxlen=history_capacity)
+        self._history_capacity = history_capacity
+        self._metrics = metrics
         self._timer = VirtualTimer(node.sim, self._sample,
                                    name=f"{node.node_id}.battmon")
         self._started = False
@@ -103,8 +115,13 @@ class BatteryMonitor:
 
     @property
     def history(self) -> List[Tuple[int, float]]:
-        """(time, SoC) samples collected so far."""
+        """Retained (time, SoC) samples (oldest first)."""
         return list(self._history)
+
+    @property
+    def history_capacity(self) -> Optional[int]:
+        """Configured bound on retained samples (None = unbounded)."""
+        return self._history_capacity
 
     @property
     def thresholds_fired(self) -> List[float]:
@@ -125,6 +142,13 @@ class BatteryMonitor:
     def _sample(self) -> None:
         soc = self.state_of_charge
         self._history.append((self.node.sim.now, soc))
+        if self._metrics is not None:
+            node_id = self.node.node_id
+            self._metrics.gauge("battery", node_id, "soc").set(soc)
+            self._metrics.series(
+                "battery", node_id, "soc",
+                self._history_capacity).append(
+                    to_seconds(self.node.sim.now), soc)
         while self._pending and soc <= self._pending[0]:
             threshold = self._pending.pop(0)
             self._fired.append(threshold)

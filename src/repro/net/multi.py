@@ -46,6 +46,9 @@ class MultiBanScenario:
         rf_channels: optional per-BAN nRF2401 frequency channel — the
             deployment remedy for co-channel interference; BANs on
             different channels never hear each other.
+        trace: optional recorder installed on the shared kernel instead
+            of the ``trace_capacity``-built one (e.g. a sink-fanning
+            :class:`~repro.obs.sinks.SinkTraceRecorder`).
     """
 
     def __init__(self, configs: Sequence[BanScenarioConfig],
@@ -54,7 +57,8 @@ class MultiBanScenario:
                  topology: Optional[Topology] = None,
                  loss_model: Optional[LossModel] = None,
                  rf_channels: Optional[Sequence[int]] = None,
-                 trace_capacity: Optional[int] = None) -> None:
+                 trace_capacity: Optional[int] = None,
+                 trace: Optional[TraceRecorder] = None) -> None:
         if not configs:
             raise ValueError("need at least one BAN config")
         horizons = {config.measure_s for config in configs}
@@ -62,8 +66,10 @@ class MultiBanScenario:
             raise ValueError(
                 f"all BANs must share measure_s, got {sorted(horizons)}")
         self.measure_s = horizons.pop()
-        self.trace = (TraceRecorder(capacity=trace_capacity)
-                      if trace_capacity else None)
+        if trace is None:
+            trace = (TraceRecorder(capacity=trace_capacity)
+                     if trace_capacity else None)
+        self.trace = trace
         self.sim = Simulator(seed=seed, trace=self.trace)
         self.channel = Channel(self.sim, topology=topology,
                                loss_model=loss_model, trace=self.trace)

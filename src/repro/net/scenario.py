@@ -206,19 +206,26 @@ class BanScenario:
         channel: optional shared medium.
         prefix: node-id prefix (e.g. ``"ban1."``) so several BANs can
             coexist with unique addresses.
+        trace: optional recorder to install instead of the config-built
+            one (e.g. a sink-fanning
+            :class:`~repro.obs.sinks.SinkTraceRecorder`); ignored when
+            ``sim`` is given (the shared kernel's recorder wins).
     """
 
     def __init__(self, config: BanScenarioConfig,
                  sim: Optional[Simulator] = None,
                  channel: Optional[Channel] = None,
-                 prefix: str = "") -> None:
+                 prefix: str = "",
+                 trace: Optional[TraceRecorder] = None) -> None:
         if (sim is None) != (channel is None):
             raise ValueError("pass sim and channel together, or neither")
         self.config = config
         self.prefix = prefix
         if sim is None:
-            self.trace = (TraceRecorder(capacity=config.trace_capacity)
-                          if config.trace_capacity else None)
+            if trace is None:
+                trace = (TraceRecorder(capacity=config.trace_capacity)
+                         if config.trace_capacity else None)
+            self.trace = trace
             self.sim = Simulator(seed=config.seed, trace=self.trace)
             self.channel = Channel(self.sim, topology=config.topology,
                                    loss_model=config.loss_model,

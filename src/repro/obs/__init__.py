@@ -1,0 +1,62 @@
+"""Unified telemetry: metrics registry, trace sinks, profiler.
+
+``repro.obs`` is the observability layer over the simulation runtime —
+the piece that turns the paper's *accounting* (every joule attributed
+to a power state and a cause) into numbers you can watch during a run
+and export after it:
+
+* :mod:`repro.obs.metrics` — counters, gauges, time-weighted
+  histograms, state-residency timers and trajectory series keyed by
+  ``component/node/name``, with mergeable snapshots and JSON /
+  Prometheus exporters;
+* :mod:`repro.obs.sinks` — structured trace sinks (JSONL streaming,
+  bounded ring) plus :class:`~repro.obs.sinks.SinkTraceRecorder`, the
+  adapter that keeps the in-memory ``TraceRecorder`` API intact;
+* :mod:`repro.obs.profiler` — attributes host ``perf_counter`` time to
+  event labels and reports sim-seconds-per-wall-second;
+* :mod:`repro.obs.instrument` — pull collectors reading the kernel,
+  MACs, radios, MCUs and caches into a registry, and periodic
+  on-sim-timer snapshots for trajectories.
+
+Everything is opt-in: a run without a registry/profiler/sink executes
+byte-identical code, and even instrumented runs never perturb event
+order, RNG streams or energy figures.
+"""
+
+from .instrument import (
+    PeriodicSnapshotter,
+    attach_periodic_snapshots,
+    collect_cache_metrics,
+    collect_scenario_metrics,
+    collect_simulator_metrics,
+)
+from .metrics import (
+    GLOBAL,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    Series,
+    StateTimer,
+    metric_key,
+    split_key,
+)
+from .profiler import KERNEL_LABEL, SimulationProfiler, normalize_label
+from .sinks import (
+    JsonlTraceSink,
+    RingTraceSink,
+    SinkTraceRecorder,
+    TraceSink,
+    read_jsonl_trace,
+)
+
+__all__ = [
+    "MetricsRegistry", "Counter", "Gauge", "Histogram", "StateTimer",
+    "Series", "metric_key", "split_key", "GLOBAL",
+    "TraceSink", "JsonlTraceSink", "RingTraceSink", "SinkTraceRecorder",
+    "read_jsonl_trace",
+    "SimulationProfiler", "normalize_label", "KERNEL_LABEL",
+    "collect_simulator_metrics", "collect_scenario_metrics",
+    "collect_cache_metrics", "attach_periodic_snapshots",
+    "PeriodicSnapshotter",
+]

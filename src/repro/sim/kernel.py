@@ -23,11 +23,22 @@ Design notes
   *order* is identical to the straightforward peek/pop formulation —
   the heap key is still (time, seq) — so traces, goldens and energy
   figures are byte-identical.
+* Observability is opt-in and branch-free on the hot path: assigning
+  :attr:`Simulator.profiler` (a
+  :class:`~repro.obs.profiler.SimulationProfiler`) switches
+  ``run_until`` to a separate per-callback-timed loop, and assigning
+  :attr:`Simulator.metrics` (a
+  :class:`~repro.obs.metrics.MetricsRegistry`) records dispatch
+  counters/rates once per ``run_until`` *call* — never per event —
+  so the disabled path executes exactly the code it executed before,
+  and even the enabled path leaves event order and energies
+  byte-identical.
 """
 
 from __future__ import annotations
 
 from heapq import heappop, heappush
+from time import perf_counter
 from typing import Callable, List, Optional
 
 from .events import (
@@ -55,7 +66,7 @@ class Simulator:
     """
 
     __slots__ = ("_now", "_queue", "_running", "_dispatched", "rng",
-                 "trace", "_end_hooks")
+                 "trace", "_end_hooks", "profiler", "metrics")
 
     def __init__(self, seed: int = 0,
                  trace: Optional[TraceRecorder] = None) -> None:
@@ -66,6 +77,14 @@ class Simulator:
         self.rng = RngRegistry(seed)
         self.trace = trace
         self._end_hooks: List[Callable[[], None]] = []
+        #: Optional :class:`~repro.obs.profiler.SimulationProfiler`;
+        #: when set, ``run_until`` times every callback (slower, but
+        #: event order and energies are unchanged).
+        self.profiler = None
+        #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when
+        #: set, each ``run_until`` call records its dispatch count and
+        #: rate (cost is per *call*, never per event).
+        self.metrics = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -146,6 +165,11 @@ class Simulator:
         if end_time < self._now:
             raise SimulationError(
                 f"end time {end_time} is before current time {self._now}")
+        if self.profiler is not None:
+            self._run_until_profiled(end_time)
+            return
+        metrics = self.metrics
+        run_started = perf_counter() if metrics is not None else 0.0
         heap = self._queue._heap
         trace = self.trace
         # Local aliases keep the per-event loop free of global lookups.
@@ -202,6 +226,91 @@ class Simulator:
             self._running = False
             self._dispatched += dispatched
         self._now = end_time
+        if metrics is not None:
+            self._record_run_metrics(metrics, dispatched,
+                                     perf_counter() - run_started)
+        for hook in self._end_hooks:
+            hook()
+
+    def _record_run_metrics(self, metrics, dispatched: int,
+                            elapsed_s: float) -> None:
+        """Record one ``run_until`` call's dispatch figures.
+
+        Called once per run *call* (never per event): the queue depth
+        gauge and a wall-time-weighted dispatch-rate histogram, whose
+        mean is therefore the overall events-per-wall-second rate.
+        """
+        metrics.gauge("kernel", "-", "queue_depth").set(len(self._queue))
+        if dispatched and elapsed_s > 0.0:
+            metrics.histogram("kernel", "-", "dispatch_rate_eps").observe(
+                dispatched / elapsed_s, weight=elapsed_s)
+
+    def _run_until_profiled(self, end_time: int) -> None:
+        """The ``run_until`` loop with per-callback host timing.
+
+        Selected when :attr:`profiler` is set.  Dispatch order, clock
+        behaviour and error handling are identical to the fast loops;
+        the only addition is a ``perf_counter`` read around every
+        callback, aggregated per label and absorbed into the profiler
+        (including the loop's own overhead, so attribution is ~100%).
+        """
+        heap = self._queue._heap
+        trace = self.trace
+        profiler = self.profiler
+        pop, clock = heappop, perf_counter
+        time_i, cancelled_i = EVT_TIME, EVT_CANCELLED
+        callback_i, label_i = EVT_CALLBACK, EVT_LABEL
+        dispatched = 0
+        start_now = self._now
+        aggregate: dict = {}
+        self._running = True
+        loop_start = clock()
+        try:
+            while heap:
+                event = pop(heap)
+                time = event[time_i]
+                if time > end_time:
+                    heappush(heap, event)
+                    break
+                if event[cancelled_i]:
+                    continue
+                self._now = time
+                dispatched += 1
+                label = event[label_i]
+                if trace is not None:
+                    trace.record(time, "kernel", "dispatch", label)
+                started = clock()
+                try:
+                    event[callback_i]()
+                except SimulationError:
+                    raise
+                except Exception as exc:
+                    raise SimulationError(
+                        f"event {label!r} at t={time} "
+                        f"failed: {exc}") from exc
+                finally:
+                    elapsed = clock() - started
+                    entry = aggregate.get(label)
+                    if entry is None:
+                        aggregate[label] = [elapsed, 1]
+                    else:
+                        entry[0] += elapsed
+                        entry[1] += 1
+        except BaseException:
+            self._running = False
+            self._dispatched += dispatched
+            profiler.absorb(aggregate, clock() - loop_start,
+                            self._now - start_now, dispatched)
+            raise
+        self._running = False
+        self._dispatched += dispatched
+        self._now = end_time
+        profiler.absorb(aggregate, clock() - loop_start,
+                        end_time - start_now, dispatched)
+        metrics = self.metrics
+        if metrics is not None:
+            self._record_run_metrics(metrics, dispatched,
+                                     clock() - loop_start)
         for hook in self._end_hooks:
             hook()
 

@@ -11,8 +11,9 @@ recorder can render itself as text for debugging (``str(trace)``).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Iterator, List, Optional
+from typing import Deque, Iterator, List, Optional
 
 from .simtime import format_time
 
@@ -41,17 +42,22 @@ class TraceRecorder:
     """
 
     def __init__(self, capacity: Optional[int] = None) -> None:
-        self._records: List[TraceRecord] = []
+        # A deque bounds the buffer with O(1) eviction per append; the
+        # old list-slice drop (``del records[:overflow]``) was O(n) on
+        # *every* overflowing append, i.e. quadratic over a long run.
+        self._records: Deque[TraceRecord] = deque(maxlen=capacity)
         self._capacity = capacity
         self._total = 0
 
+    @property
+    def capacity(self) -> Optional[int]:
+        """Configured bound on retained records (None = unbounded)."""
+        return self._capacity
+
     def record(self, time: int, source: str, kind: str, detail: str) -> None:
-        """Append one record."""
+        """Append one record (oldest evicted past ``capacity``)."""
         self._total += 1
         self._records.append(TraceRecord(time, source, kind, detail))
-        if self._capacity is not None and len(self._records) > self._capacity:
-            overflow = len(self._records) - self._capacity
-            del self._records[:overflow]
 
     @property
     def total_recorded(self) -> int:
