@@ -17,7 +17,13 @@ Every subcommand accepts ``--jobs N`` (fan independent scenarios out
 over N worker processes; output identical to sequential) and
 ``--cache`` / ``--cache-dir`` (memoize results on disk; see
 ``docs/performance.md``).  Commands that run a single scenario ignore
-``--jobs``.
+``--jobs``.  Batch resilience: ``--isolate-errors`` turns a failing
+scenario into a structured ``ErrorResult`` instead of aborting the
+batch, ``--scenario-timeout S`` bounds each pooled scenario's wall
+clock, and ``--retries N`` re-dispatches work lost to worker-pool
+crashes.  ``run`` additionally takes ``--faults SPEC`` (deterministic
+fault injection; see ``docs/protocols.md``) and ``--recovery`` (MAC
+degradation behaviour under faults).
 
 Telemetry (see ``docs/observability.md``): ``--metrics PATH`` writes a
 metrics snapshot (JSON, or Prometheus text when PATH ends in
@@ -47,7 +53,9 @@ from .baselines.naive import fidelity_ladder
 from .core.report import render_loss_breakdown, render_table
 from .exec import ResultCache, ScenarioExecutor
 from .exec.cache import DEFAULT_CACHE_DIR
+from .faults import parse_fault_spec
 from .hw.battery import CR2477, LIPO_160
+from .mac.recovery import RecoveryConfig
 from .net.multi import MultiBanScenario
 from .net.scenario import APPS, MACS, BanScenario, BanScenarioConfig, \
     run_scenario
@@ -80,6 +88,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "--cache-dir is given)")
     parser.add_argument("--cache-dir", metavar="PATH", default=None,
                         help="result-cache directory (implies --cache)")
+    parser.add_argument("--isolate-errors", action="store_true",
+                        help="a failing scenario yields an ErrorResult "
+                             "record instead of aborting the batch")
+    parser.add_argument("--scenario-timeout", type=float, default=None,
+                        metavar="S",
+                        help="per-scenario wall-clock limit in worker "
+                             "processes (needs --jobs >= 2)")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="re-dispatch scenarios lost to worker-pool "
+                             "failures up to N times (default 0)")
     parser.add_argument("--metrics", metavar="PATH", default=None,
                         help="write a metrics snapshot (JSON, or "
                              "Prometheus text if PATH ends in .prom)")
@@ -183,11 +201,17 @@ def _executor_from_args(args: argparse.Namespace,
     cache = None
     if args.cache or args.cache_dir is not None:
         cache = ResultCache(root=args.cache_dir)
+    if args.retries < 0:
+        raise SystemExit(
+            f"repro-ban: error: --retries must be >= 0, got {args.retries}")
     jobs = None if args.jobs == 0 else args.jobs
     return ScenarioExecutor(
         jobs=jobs, cache=cache,
         metrics=obs.registry if obs is not None else None,
-        profiler=obs.profiler if obs is not None else None)
+        profiler=obs.profiler if obs is not None else None,
+        isolate_errors=args.isolate_errors,
+        timeout_s=args.scenario_timeout,
+        retries=args.retries)
 
 
 def _print_cache_stats(executor: ScenarioExecutor,
@@ -240,6 +264,18 @@ def build_parser() -> argparse.ArgumentParser:
     add_scenario_flags(run_parser)
     run_parser.add_argument("--join", action="store_true",
                             help="exercise the over-the-air join protocol")
+    run_parser.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="inject a deterministic fault schedule, e.g. "
+             "'crash,node=node1,at=5,reboot=3; "
+             "beacons,node=node2,at=8,count=4' "
+             "(kinds: crash, lockup, beacons, clockstep, brownout, "
+             "random; see docs/protocols.md)")
+    run_parser.add_argument(
+        "--recovery", action="store_true",
+        help="enable MAC degradation/recovery behaviour (widened "
+             "beacon windows, duty-cycled reacquisition, SSR backoff) "
+             "- typically combined with --faults")
     run_parser.add_argument("--battery", choices=sorted(BATTERIES),
                             default="cr2477")
     run_parser.add_argument("--losses", action="store_true",
@@ -341,7 +377,15 @@ def _scenario_config(args: argparse.Namespace,
 
 def _cmd_run(args: argparse.Namespace) -> int:
     obs = _Observability(args)
-    config = _scenario_config(args, join_protocol=args.join)
+    extra = {}
+    if args.faults:
+        try:
+            extra["faults"] = parse_fault_spec(args.faults)
+        except ValueError as exc:
+            raise SystemExit(f"repro-ban: error: --faults: {exc}")
+    if args.recovery:
+        extra["recovery"] = RecoveryConfig()
+    config = _scenario_config(args, join_protocol=args.join, **extra)
     scenario = BanScenario(
         config, trace=obs.make_trace(config.trace_capacity))
     obs.attach(scenario.sim, scenario)
@@ -371,6 +415,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
         for node_id in sorted(result.nodes):
             print(render_loss_breakdown(result.nodes[node_id]))
             print()
+    if scenario.fault_injector is not None:
+        print()
+        summary = scenario.fault_injector.summary()
+        if summary:
+            print("injected faults:")
+            for node_id, counts in summary.items():
+                details = ", ".join(f"{name}={value}" for name, value
+                                    in sorted(counts.items()))
+                print(f"  {node_id}: {details}")
+        else:
+            print("injected faults: none fired within the horizon")
     records = network_records(result)
     if args.csv:
         with open(args.csv, "w") as handle:

@@ -19,13 +19,17 @@ the CLI exposes ``--jobs N`` / ``--cache``) that route through here.
 """
 
 from .cache import CacheStats, ResultCache, Uncacheable, config_fingerprint
+from .errors import ErrorResult, ScenarioTimeoutError, failures
 from .executor import ScenarioExecutor, run_configs
 
 __all__ = [
     "CacheStats",
+    "ErrorResult",
     "ResultCache",
     "ScenarioExecutor",
+    "ScenarioTimeoutError",
     "Uncacheable",
     "config_fingerprint",
+    "failures",
     "run_configs",
 ]

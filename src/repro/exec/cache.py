@@ -37,7 +37,7 @@ SCHEMA_VERSION = 1
 #: that can influence a simulated energy figure.  ``analysis`` is
 #: deliberately absent — it only *consumes* results.
 _SALTED_PACKAGES = ("core", "sim", "tinyos", "hw", "phy", "mac", "apps",
-                    "signals", "net")
+                    "signals", "net", "faults")
 
 #: Default cache directory (relative to the current working directory).
 DEFAULT_CACHE_DIR = ".repro_cache"

@@ -1,0 +1,108 @@
+"""Structured per-scenario failure records for batch execution.
+
+A batch of independent scenarios should degrade independently: one
+raising config must not discard its siblings' results.  When the
+executor runs with ``isolate_errors=True``, a failing item yields an
+:class:`ErrorResult` in its submission-order slot instead of aborting
+the batch.  The record carries everything needed to triage the failure
+offline (exception type, message, traceback text, attempt count)
+without holding live objects, so it is picklable and JSON-exportable.
+
+Equality deliberately ignores the traceback text: a failure isolated in
+a worker process and the same failure isolated in-process produce equal
+records, which is what lets tests assert ``--jobs 1`` and ``--jobs N``
+batches return identical outputs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import reprlib
+import traceback as _traceback
+from typing import Any, Dict
+
+
+class ScenarioTimeoutError(RuntimeError):
+    """A pooled scenario exceeded the executor's per-item timeout."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ErrorResult:
+    """One failed batch item, in place of its result.
+
+    Attributes:
+        index: the item's position in the submitted batch.
+        error_type: qualified exception class name (e.g.
+            ``RuntimeError`` or ``repro.sim.kernel.SimulationError``).
+        message: ``str(exception)``.
+        item_repr: abbreviated ``repr`` of the failing item/config.
+        attempts: how many times the item was attempted (> 1 only when
+            the executor retried after a worker-pool failure).
+        traceback: formatted traceback text (empty for timeouts);
+            excluded from equality so worker and in-process failures
+            compare equal.
+    """
+
+    index: int
+    error_type: str
+    message: str
+    item_repr: str = ""
+    attempts: int = 1
+    traceback: str = dataclasses.field(default="", compare=False,
+                                       repr=False)
+
+    @property
+    def failed(self) -> bool:
+        """Always True; lets callers test items without isinstance."""
+        return True
+
+    def summary(self) -> Dict[str, Any]:
+        """Plain-dict view (JSON-ready) for reports and CI artifacts."""
+        return {
+            "index": self.index,
+            "error_type": self.error_type,
+            "message": self.message,
+            "item": self.item_repr,
+            "attempts": self.attempts,
+            "traceback": self.traceback,
+        }
+
+    @classmethod
+    def from_exception(cls, index: int, item: Any, exc: BaseException,
+                       attempts: int = 1) -> "ErrorResult":
+        """Build a record from a caught exception."""
+        exc_type = type(exc)
+        name = exc_type.__qualname__
+        if exc_type.__module__ not in ("builtins", "exceptions"):
+            name = f"{exc_type.__module__}.{name}"
+        return cls(
+            index=index,
+            error_type=name,
+            message=str(exc),
+            item_repr=reprlib.repr(item),
+            attempts=attempts,
+            traceback="".join(_traceback.format_exception(
+                exc_type, exc, exc.__traceback__)),
+        )
+
+
+def timeout_result(index: int, item: Any, timeout_s: float,
+                   attempts: int = 1) -> ErrorResult:
+    """An :class:`ErrorResult` for a pooled item that ran out of time."""
+    return ErrorResult(
+        index=index,
+        error_type=(f"{ScenarioTimeoutError.__module__}."
+                    f"{ScenarioTimeoutError.__qualname__}"),
+        message=f"scenario exceeded per-item timeout of {timeout_s:g}s",
+        item_repr=reprlib.repr(item),
+        attempts=attempts,
+    )
+
+
+def failures(results) -> list:
+    """The :class:`ErrorResult` entries of a batch, in order."""
+    return [item for item in results if isinstance(item, ErrorResult)]
+
+
+__all__ = ["ErrorResult", "ScenarioTimeoutError", "failures",
+           "timeout_result"]

@@ -19,6 +19,26 @@ Fallback rules (all silent, all order-preserving):
 * If the platform cannot start worker processes at all, the whole
   batch falls back in-process.
 
+Failure rules (the part that keeps long batches alive):
+
+* An exception raised by ``fn`` is captured **per item**.  By default
+  the first one (in submission order) re-raises after the remaining
+  futures have been drained — never by silently recomputing the whole
+  pooled share in-process, which the old code did whenever ``fn``
+  happened to raise ``OSError``.  With ``isolate_errors=True`` the
+  failing slot instead holds a structured
+  :class:`~repro.exec.errors.ErrorResult` and the sibling results
+  survive; sequential and pooled batches produce identical outputs.
+* A mid-batch :class:`BrokenProcessPool` re-dispatches only the items
+  whose futures had not finished (bounded by ``retries`` extra pool
+  attempts, then in-process), so already-completed work is never run
+  twice.
+* ``timeout_s`` bounds each pooled item's wall-clock time; an expired
+  item becomes an ``ErrorResult`` (``isolate_errors=True``) or raises
+  :class:`~repro.exec.errors.ScenarioTimeoutError`.  Hung worker
+  processes are terminated.  In-process items cannot be preempted, so
+  the timeout only applies to the pooled path.
+
 An optional :class:`~repro.exec.cache.ResultCache` short-circuits
 configs whose results are already on disk; only the misses are
 dispatched to workers.
@@ -37,12 +57,14 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from functools import partial
 from time import perf_counter
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, List, Optional, Sequence, Set, Tuple
 
 from .cache import ResultCache
+from .errors import ErrorResult, ScenarioTimeoutError, timeout_result
 
 
 def _run_config_worker(config: Any) -> Any:
@@ -106,17 +128,40 @@ class ScenarioExecutor:
         profiler: optional
             :class:`~repro.obs.profiler.SimulationProfiler` merging the
             per-scenario callback timings (implies instrumented runs).
+        isolate_errors: when True, an item whose evaluation raises (or
+            times out) yields an :class:`ErrorResult` in its slot and
+            the rest of the batch completes; when False (default), the
+            first failure re-raises after the in-flight futures drain.
+        timeout_s: optional per-item wall-clock bound for pooled items;
+            expired items fail (``ErrorResult`` or
+            :class:`ScenarioTimeoutError` per ``isolate_errors``) and
+            their worker processes are terminated.
+        retries: extra process-pool attempts for items whose futures
+            were lost to a *pool-level* failure (``BrokenProcessPool``
+            and kin) before falling back in-process.  Exceptions raised
+            by the item itself are never retried — the simulator is
+            deterministic, so they would fail identically.
     """
 
     def __init__(self, jobs: Optional[int] = 1,
                  cache: Optional[ResultCache] = None,
-                 metrics=None, profiler=None) -> None:
+                 metrics=None, profiler=None,
+                 isolate_errors: bool = False,
+                 timeout_s: Optional[float] = None,
+                 retries: int = 0) -> None:
         if jobs is not None and jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
         self.jobs = default_jobs() if jobs is None else jobs
         self.cache = cache
         self.metrics = metrics
         self.profiler = profiler
+        self.isolate_errors = isolate_errors
+        self.timeout_s = timeout_s
+        self.retries = retries
 
     # ------------------------------------------------------------------
     def map(self, fn: Callable[[Any], Any], items: Sequence[Any],
@@ -127,10 +172,16 @@ class ScenarioExecutor:
         batch entry points that need a custom per-item function (e.g.
         multi-BAN runs).  Unpicklable items are evaluated in-process;
         so is everything when ``jobs == 1`` or the pool cannot start.
+        Failures follow the module-level failure rules: per-item
+        capture, pool-level retry of unfinished items only, optional
+        per-item timeout on the pooled path.
         """
         items = list(items)
+        results: List[Any] = [None] * len(items)
         if self.jobs == 1 or len(items) <= 1:
-            return [fn(item) for item in items]
+            for index in range(len(items)):
+                results[index] = self._run_one_local(fn, items, index)
+            return results
 
         skip = {index for index, item in enumerate(items)
                 if not _picklable(item)}
@@ -138,23 +189,106 @@ class ScenarioExecutor:
             skip = set(range(len(items)))
         pooled = [index for index in range(len(items))
                   if index not in skip]
-        results: List[Any] = [None] * len(items)
         if pooled:
-            try:
-                workers = min(self.jobs, len(pooled))
-                with ProcessPoolExecutor(max_workers=workers) as pool:
-                    futures = [(index, pool.submit(fn, items[index]))
-                               for index in pooled]
-                    for index, future in futures:
-                        results[index] = future.result()
-            except (OSError, BrokenProcessPool, pickle.PicklingError):
-                # Pool unavailable on this platform: evaluate the
-                # pooled share where we are (determinism makes any
-                # partially computed results safe to recompute).
-                skip.update(pooled)
+            skip.update(self._run_pooled(fn, items, pooled, results))
         for index in sorted(skip):
-            results[index] = fn(items[index])
+            results[index] = self._run_one_local(fn, items, index)
         return results
+
+    # ------------------------------------------------------------------
+    # Failure-isolating execution paths
+    # ------------------------------------------------------------------
+    def _run_one_local(self, fn: Callable[[Any], Any],
+                       items: Sequence[Any], index: int) -> Any:
+        """Evaluate one item in-process under the isolation policy."""
+        try:
+            return fn(items[index])
+        except Exception as exc:
+            if not self.isolate_errors:
+                raise
+            return ErrorResult.from_exception(index, items[index], exc)
+
+    def _run_pooled(self, fn: Callable[[Any], Any], items: Sequence[Any],
+                    pooled: Sequence[int], results: List[Any]
+                    ) -> Set[int]:
+        """Evaluate ``pooled`` indices via a process pool.
+
+        Fills ``results`` in place and returns the indices that still
+        need in-process evaluation (pool never started, or pool-level
+        failures exhausted ``retries``).  Items whose evaluation raised
+        are *finished* — recomputing a deterministic failure would only
+        duplicate side effects — so they are never re-dispatched.
+        """
+        remaining = list(pooled)
+        deferred: Optional[BaseException] = None
+        attempt = 0
+        while remaining:
+            attempt += 1
+            done: Set[int] = set()
+            try:
+                workers = min(self.jobs, len(remaining))
+                pool = ProcessPoolExecutor(max_workers=workers)
+            except (OSError, ValueError):
+                return set(remaining)
+            timed_out = False
+            try:
+                futures = [(index, pool.submit(fn, items[index]))
+                           for index in remaining]
+                for index, future in futures:
+                    try:
+                        results[index] = future.result(
+                            timeout=self.timeout_s)
+                        done.add(index)
+                    except BrokenProcessPool:
+                        raise  # pool-level: handled by the outer except
+                    except FuturesTimeoutError:
+                        timed_out = True
+                        future.cancel()
+                        if not self.isolate_errors:
+                            raise ScenarioTimeoutError(
+                                f"batch item {index} exceeded "
+                                f"{self.timeout_s:g}s") from None
+                        results[index] = timeout_result(
+                            index, items[index], self.timeout_s, attempt)
+                        done.add(index)
+                    except Exception as exc:
+                        # Raised by fn inside the worker (including
+                        # OSError — previously mistaken for a pool
+                        # failure and silently recomputed everywhere).
+                        done.add(index)
+                        if self.isolate_errors:
+                            results[index] = ErrorResult.from_exception(
+                                index, items[index], exc, attempt)
+                        elif deferred is None:
+                            deferred = exc
+                remaining = []
+            except (OSError, BrokenProcessPool, pickle.PicklingError):
+                # Pool machinery failed: only the genuinely unfinished
+                # items go around again (or fall back in-process).
+                remaining = [index for index in remaining
+                             if index not in done]
+                if attempt > self.retries:
+                    return set(remaining)
+            finally:
+                self._drain_pool(pool, force=timed_out)
+        if deferred is not None:
+            raise deferred
+        return set()
+
+    @staticmethod
+    def _drain_pool(pool: ProcessPoolExecutor, force: bool) -> None:
+        """Shut a pool down; ``force`` terminates hung workers."""
+        if force:
+            processes = list((getattr(pool, "_processes", None)
+                              or {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            for process in processes:
+                try:
+                    process.terminate()
+                except (OSError, AttributeError):
+                    pass
+        else:
+            pool.shutdown(wait=True)
 
     def run_configs(self, configs: Sequence[Any]) -> List[Any]:
         """Evaluate each config; results in submission order.
@@ -190,15 +324,22 @@ class ScenarioExecutor:
             fresh = self.map(worker,
                              [configs[i] for i in miss_indices])
             if observed:
-                fresh = [self._absorb_observed(packed)
+                fresh = [packed if isinstance(packed, ErrorResult)
+                         else self._absorb_observed(packed)
                          for packed in fresh]
             for index, result in zip(miss_indices, fresh):
                 results[index] = result
-                if cache is not None:
+                # Failures are never cached: the record describes one
+                # run's misfortune, not the config's value.
+                if cache is not None and not isinstance(result,
+                                                        ErrorResult):
                     cache.put(configs[index], result)
         if observed:
+            failed = sum(1 for result in results
+                         if isinstance(result, ErrorResult))
             self._record_batch_metrics(len(configs), len(miss_indices),
-                                       perf_counter() - batch_started)
+                                       perf_counter() - batch_started,
+                                       failed)
         return results
 
     # ------------------------------------------------------------------
@@ -215,7 +356,8 @@ class ScenarioExecutor:
         return result
 
     def _record_batch_metrics(self, total: int, fresh: int,
-                              batch_wall_s: float) -> None:
+                              batch_wall_s: float,
+                              failed: int = 0) -> None:
         """Batch-level figures: size, pool width, worker utilisation."""
         if self.metrics is None:
             return
@@ -224,6 +366,9 @@ class ScenarioExecutor:
         registry.counter("exec", GLOBAL, "scenarios_run").inc(fresh)
         registry.counter("exec", GLOBAL,
                          "scenarios_cached").inc(total - fresh)
+        if failed:
+            registry.counter("exec", GLOBAL,
+                             "scenarios_failed").inc(failed)
         registry.gauge("exec", GLOBAL, "workers").set(float(self.jobs))
         registry.histogram("exec", GLOBAL,
                            "batch_wall_s").observe(batch_wall_s)
@@ -235,9 +380,15 @@ class ScenarioExecutor:
 
 
 def run_configs(configs: Sequence[Any], jobs: Optional[int] = 1,
-                cache: Optional[ResultCache] = None) -> List[Any]:
+                cache: Optional[ResultCache] = None,
+                isolate_errors: bool = False,
+                timeout_s: Optional[float] = None,
+                retries: int = 0) -> List[Any]:
     """One-call convenience: ``ScenarioExecutor(jobs, cache).run_configs``."""
-    return ScenarioExecutor(jobs=jobs, cache=cache).run_configs(configs)
+    return ScenarioExecutor(jobs=jobs, cache=cache,
+                            isolate_errors=isolate_errors,
+                            timeout_s=timeout_s,
+                            retries=retries).run_configs(configs)
 
 
 __all__ = ["ScenarioExecutor", "default_jobs", "run_configs"]

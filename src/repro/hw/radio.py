@@ -36,7 +36,7 @@ from ..core.states import PowerState, PowerStateTable
 from ..sim.kernel import Simulator
 from ..sim.simtime import seconds, to_seconds
 from ..sim.trace import TraceRecorder
-from .frames import Frame
+from .frames import Frame, FrameKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from ..phy.channel import Channel, Transmission
@@ -116,6 +116,15 @@ class Nrf2401:
         #: steps).  Radios only hear transmissions on their own channel;
         #: multi-BAN deployments separate networks with it.
         self.rf_channel = 0
+        #: Fault injection (:mod:`repro.faults`): while True, the
+        #: receive chain is locked up — every captured frame is lost
+        #: inside the radio exactly like a CRC failure (RX energy
+        #: spent, MCU never woken).
+        self.fault_rx_deaf = False
+        #: Fault injection: CRC-fail the next N captured beacons.
+        self.fault_drop_beacons = 0
+        #: Frames lost to the two injected receive-path faults above.
+        self.fault_frames_dropped = 0
 
         self._rx_since: Optional[int] = None
         self._tx_busy = False
@@ -143,6 +152,12 @@ class Nrf2401:
     def is_receiving(self) -> bool:
         """Whether the receive chain is on."""
         return self.ledger.state == RX
+
+    @property
+    def is_transmitting(self) -> bool:
+        """Whether a ShockBurst event is in flight (power-down would be
+        illegal right now)."""
+        return self._tx_busy
 
     def power_up(self) -> None:
         """POWER_DOWN -> STANDBY (configuration registers retained)."""
@@ -305,6 +320,18 @@ class Nrf2401:
         frame = transmission.frame
         rx_energy = (to_seconds(transmission.airtime)
                      * self._cal.radio_rx_a * self._cal.supply_v)
+        faulted = self.fault_rx_deaf
+        if (not faulted and self.fault_drop_beacons > 0
+                and frame.kind is FrameKind.BEACON):
+            self.fault_drop_beacons -= 1
+            faulted = True
+        if faulted:
+            # Injected receive-path fault: lost inside the radio like a
+            # CRC failure — the energy is spent, the MCU stays asleep.
+            self.fault_frames_dropped += 1
+            self.accountant.book(RadioEnergyCategory.COLLISION, rx_energy)
+            self._count_corrupted += 1
+            return
         if corrupted and self.crc_enabled:
             self.accountant.book(RadioEnergyCategory.COLLISION, rx_energy)
             self._count_corrupted += 1
@@ -375,6 +402,9 @@ class Nrf2401:
         counter("radio", node, "corrupted").inc(self._count_corrupted)
         counter("radio", node,
                 "transitions").inc(self.ledger.transitions)
+        if self.fault_frames_dropped:
+            counter("radio", node,
+                    "fault_frames_dropped").inc(self.fault_frames_dropped)
 
     def reset_measurement(self) -> None:
         """Clear ledger, attribution and counters at measurement start."""

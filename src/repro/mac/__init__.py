@@ -3,6 +3,7 @@ the unslotted-ALOHA contention baseline."""
 
 from .aloha import AlohaBaseMac, AlohaConfig, AlohaNodeMac
 from .base import AppPayload, BaseStationMac, MacCounters, NodeMac, NodeState
+from .recovery import RecoveryConfig
 from .messages import (
     BEACON_BASE_BYTES,
     SLOT_REQUEST_BYTES,
@@ -41,6 +42,7 @@ __all__ = [
     "MacCounters",
     "NodeMac",
     "NodeState",
+    "RecoveryConfig",
     "BEACON_BASE_BYTES",
     "SLOT_REQUEST_BYTES",
     "BeaconPayload",

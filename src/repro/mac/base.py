@@ -42,12 +42,13 @@ from ..core.calibration import ModelCalibration
 from ..hw.frames import Frame, FrameKind
 from ..hw.radio import Nrf2401, TxOutcome
 from ..sim.kernel import Simulator
-from ..sim.simtime import microseconds
+from ..sim.simtime import TICKS_PER_SECOND, microseconds
 from ..sim.trace import TraceRecorder
 from ..tinyos.components import Component
 from ..tinyos.scheduler import TaskScheduler
 from .messages import BeaconPayload, SlotRequestPayload, make_beacon, \
     make_data, make_slot_request
+from .recovery import RecoveryConfig
 from .slots import SlotSchedule
 from .sync import SyncPolicy
 
@@ -65,7 +66,13 @@ class NodeState(enum.Enum):
 
 @dataclass
 class MacCounters:
-    """Protocol-level event counters (per node / base station)."""
+    """Protocol-level event counters (per node / base station).
+
+    The recovery-path counters (``windows_widened`` onward) stay zero
+    unless a :class:`~repro.mac.recovery.RecoveryConfig` is installed
+    or the protocol hits the corresponding degraded path — they make
+    degradation measurable rather than silent.
+    """
 
     beacons_sent: int = 0
     beacons_received: int = 0
@@ -77,6 +84,12 @@ class MacCounters:
     grants_observed: int = 0
     resyncs: int = 0
     software_discards: int = 0
+    windows_widened: int = 0
+    scan_pauses: int = 0
+    ssr_backoffs: int = 0
+    slot_revocations: int = 0
+    recoveries: int = 0
+    sync_anomalies: int = 0
 
     def as_dict(self) -> dict:
         """Field-name -> count mapping (the metrics/export view)."""
@@ -108,7 +121,15 @@ class NodeMac(Component):
             estimates drift accordingly (0 = ideal crystal).
         max_missed_beacons: consecutive misses before falling back to
             acquisition.
+        recovery: opt-in degradation/recovery behaviour (guard-window
+            widening, bounded reacquisition scan, SSR backoff).  None
+            (the default) keeps the pre-recovery protocol bit-for-bit.
     """
+
+    #: Variant gate for the exponential slot-re-request backoff: the
+    #: dynamic protocol's ES window benefits from it; the static
+    #: protocol's slot-randomised SSR keeps the paper's behaviour.
+    _supports_ssr_backoff = False
 
     def __init__(self, sim: Simulator, radio: Nrf2401,
                  scheduler: TaskScheduler,
@@ -119,6 +140,7 @@ class NodeMac(Component):
                  first_beacon_ticks: Optional[int] = None,
                  clock_skew_ppm: float = 0.0,
                  max_missed_beacons: int = 3,
+                 recovery: Optional[RecoveryConfig] = None,
                  name: Optional[str] = None,
                  trace: Optional[TraceRecorder] = None) -> None:
         super().__init__(sim, name or f"{radio.address}.mac", trace)
@@ -131,8 +153,12 @@ class NodeMac(Component):
         self._first_beacon = first_beacon_ticks
         self._skew_ppm = clock_skew_ppm
         self._max_missed = max_missed_beacons
+        self._recovery = recovery
 
-        self.state = NodeState.ACQUIRING
+        self._state = NodeState.ACQUIRING
+        self._state_since = sim.now
+        self._state_ticks = {state: 0 for state in NodeState}
+        self._ever_synced = False
         self.counters = MacCounters()
         #: Application hook: called at slot time; returns (bytes, content)
         #: or None when there is nothing to send this cycle.
@@ -151,8 +177,33 @@ class NodeMac(Component):
         self._join_pending = False
         self._next_window_open: Optional[int] = None
         self._next_slot_time: Optional[int] = None
+        self._next_expected_beacon: Optional[int] = None
+        self._scan_serial = 0
+        self._ssr_attempts = 0
+        self._ssr_skip_remaining = 0
 
         radio.on_frame = self._on_frame
+
+    # ------------------------------------------------------------------
+    # State (with residency accounting for the obs state timer)
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> NodeState:
+        """Current node-side MAC state."""
+        return self._state
+
+    @state.setter
+    def state(self, new: NodeState) -> None:
+        if new is self._state:
+            return
+        now = self._sim.now
+        self._state_ticks[self._state] += now - self._state_since
+        self._state_since = now
+        if new is NodeState.SYNCED:
+            if self._ever_synced:
+                self.counters.recoveries += 1
+            self._ever_synced = True
+        self._state = new
 
     # ------------------------------------------------------------------
     # Variant-specific hooks
@@ -184,6 +235,13 @@ class NodeMac(Component):
             if self._first_beacon is None:
                 raise ValueError(
                     f"{self.name}: preassigned slot needs first_beacon_ticks")
+            if self._first_beacon <= self._sim.now:
+                # Warm reboot after a crash: the configured first
+                # beacon is long gone, so reacquire the schedule (the
+                # base station still lists the preassigned slot, so the
+                # next beacon re-grants it immediately).
+                self._enter_acquisition()
+                return
             self.state = NodeState.SYNCED
             self._cycle_ticks = self._initial_cycle_ticks()
             self._last_sync = self._first_beacon - self._cycle_ticks
@@ -235,22 +293,93 @@ class NodeMac(Component):
             -1.0 if self._slot is None else float(self._slot))
         registry.gauge("mac", node,
                        "clock_skew_ppm").set(self._skew_ppm)
+        timer = registry.state_timer("mac", node, "state_s")
+        now = self._sim.now
+        for state in NodeState:
+            ticks = self._state_ticks[state]
+            if state is self._state:
+                ticks += now - self._state_since
+            if ticks:
+                timer.add(state.value, ticks / TICKS_PER_SECOND)
 
     @property
     def cycle_ticks(self) -> Optional[int]:
         """Last known TDMA cycle length."""
         return self._cycle_ticks
 
+    def apply_clock_step(self, offset_ticks: int) -> None:
+        """Step this node's local clock by ``offset_ticks``.
+
+        Models a timer glitch (fault injection): the node's idea of
+        when the next beacon is due shifts by the step, so it wakes
+        early or late and — when the step exceeds the guard lead —
+        misses beacons until the normal resync machinery recovers.
+        While ACQUIRING the receiver is already on continuously, so a
+        step is invisible.  Backward steps are clamped so the beacon
+        expectation never precedes the last sync point (the
+        ``sync_anomalies`` trap in :meth:`_arm_beacon_window` stays a
+        genuine invariant).
+        """
+        if offset_ticks == 0 or not self.started:
+            return
+        if (self.state is NodeState.ACQUIRING
+                or self._next_expected_beacon is None):
+            return
+        floor = self._sim.now + 1
+        if self._last_sync is not None:
+            floor = max(floor, self._last_sync + 1)
+        shifted = max(self._next_expected_beacon + offset_ticks, floor)
+        self._window_serial += 1  # supersede the old miss timeout
+        self._arm_beacon_window(shifted)
+
     # ------------------------------------------------------------------
     # Acquisition
     # ------------------------------------------------------------------
-    def _enter_acquisition(self) -> None:
+    def _enter_acquisition(self, scan: bool = False) -> None:
         if self.state is not NodeState.ACQUIRING:
             self.counters.resyncs += 1
         self.state = NodeState.ACQUIRING
         self._slot = None if self._preassigned_slot is None else self._slot
         self._missed = 0
+        self._ssr_attempts = 0
+        self._ssr_skip_remaining = 0
         self._radio.start_rx()
+        # Post-demotion reacquisition may duty-cycle the receiver
+        # (bounded scan); the initial cold acquisition never does — the
+        # paper's join phase is continuous listening.
+        self._scan_serial += 1
+        if (scan and self._recovery is not None
+                and self._recovery.scan_off_cycles > 0
+                and self._cycle_ticks is not None):
+            self._arm_scan_pause(self._scan_serial)
+
+    def _arm_scan_pause(self, serial: int) -> None:
+        assert self._recovery is not None and self._cycle_ticks is not None
+        on_ticks = round(self._recovery.scan_on_cycles * self._cycle_ticks)
+        self._sim.at(self._sim.now + max(on_ticks, 1),
+                     lambda: self._scan_pause(serial),
+                     label=f"{self.name}.scan_pause")
+
+    def _scan_pause(self, serial: int) -> None:
+        if not self.started or serial != self._scan_serial:
+            return
+        if self.state is not NodeState.ACQUIRING:
+            return  # a beacon ended the scan
+        assert self._recovery is not None and self._cycle_ticks is not None
+        self._radio.stop_rx()
+        self.counters.scan_pauses += 1
+        off_ticks = round(self._recovery.scan_off_cycles * self._cycle_ticks)
+        self._sim.at(self._sim.now + max(off_ticks, 1),
+                     lambda: self._scan_resume(serial),
+                     label=f"{self.name}.scan_resume")
+
+    def _scan_resume(self, serial: int) -> None:
+        if not self.started or serial != self._scan_serial:
+            return
+        if self.state is not NodeState.ACQUIRING:
+            return
+        self._radio.start_rx()
+        self._arm_scan_pause(serial)
 
     # ------------------------------------------------------------------
     # Beacon window management (SYNCED / JOINING)
@@ -265,13 +394,33 @@ class NodeMac(Component):
         since_sync = expected_beacon - (self._last_sync
                                         if self._last_sync is not None
                                         else expected_beacon)
-        lead = self._sync.lead_ticks(self._cycle_ticks, max(since_sync, 0))
+        if since_sync < 0:
+            # Beacon bookkeeping went backwards.  No protocol path
+            # produces this (expectations only ever advance from the
+            # last sync point); it would mean a widening lead computed
+            # from garbage, so trap it loudly instead of clamping in
+            # silence.
+            self.counters.sync_anomalies += 1
+            if self._trace is not None:
+                self._trace.record(
+                    self._sim.now, self.name, "sync_anomaly",
+                    f"since_sync={since_sync} "
+                    f"expected={expected_beacon} last={self._last_sync}")
+            since_sync = 0
+        lead = self._sync.lead_ticks(self._cycle_ticks, since_sync)
+        if self._recovery is not None and self._missed > 0:
+            widened = self._recovery.widened_lead(lead, self._missed)
+            if widened != lead:
+                lead = widened
+                self.counters.windows_widened += 1
+        self._next_expected_beacon = expected_beacon
         wake = max(expected_beacon - lead, self._sim.now)
         self._beacon_seen_this_window = False
         self._window_serial += 1
         serial = self._window_serial
         self._next_window_open = wake
-        self._sim.at(wake, self._open_window, label=f"{self.name}.rxon")
+        self._sim.at(wake, lambda: self._open_window(serial),
+                     label=f"{self.name}.rxon")
         # Keep listening one lead past the expected time before declaring
         # a miss (symmetric guard), plus a beacon airtime.
         airtime = microseconds(200)
@@ -280,9 +429,11 @@ class NodeMac(Component):
                      lambda: self._beacon_timeout(expected_beacon, serial),
                      label=f"{self.name}.beacon_timeout")
 
-    def _open_window(self) -> None:
+    def _open_window(self, serial: int) -> None:
         if not self.started:
             return  # stack stopped: stay silent
+        if serial != self._window_serial:
+            return  # superseded (e.g. an injected clock step re-armed)
         if self.state is NodeState.ACQUIRING:
             return  # already listening continuously
         if not self._beacon_seen_this_window and not self._radio.is_receiving:
@@ -301,7 +452,7 @@ class NodeMac(Component):
         self._missed += 1
         self._radio.stop_rx()
         if self._missed >= self._max_missed:
-            self._enter_acquisition()
+            self._enter_acquisition(scan=True)
             return
         # Free-run: trust the local clock for another cycle.
         assert self._cycle_ticks is not None
@@ -366,6 +517,22 @@ class NodeMac(Component):
         if self.state is NodeState.ACQUIRING:
             self.state = NodeState.JOINING
 
+        if self.state is NodeState.SYNCED:
+            listed = payload.slot_of(self._radio.address)
+            if listed is None:
+                # The schedule no longer carries this node (its slot
+                # was reclaimed while it free-ran, or the base station
+                # rebooted).  Transmitting in a slot the base station
+                # may hand to someone else would double-allocate it, so
+                # surrender the slot and re-join.
+                self.counters.slot_revocations += 1
+                self._slot = None
+                self.state = NodeState.JOINING
+            elif listed != self._slot:
+                # The base station moved us: its schedule is
+                # authoritative.
+                self._slot = listed
+
         if self.state is NodeState.JOINING:
             granted = payload.slot_of(self._radio.address)
             if granted is not None:
@@ -373,6 +540,12 @@ class NodeMac(Component):
                 self.state = NodeState.SYNCED
                 self.counters.grants_observed += 1
                 self._join_pending = False
+                self._ssr_attempts = 0
+                self._ssr_skip_remaining = 0
+            elif self._ssr_skip_remaining > 0:
+                # Exponential backoff: sit this cycle's ES window out.
+                self._ssr_skip_remaining -= 1
+                self.counters.ssr_backoffs += 1
             else:
                 self._schedule_slot_request(beacon_start, payload)
 
@@ -401,6 +574,8 @@ class NodeMac(Component):
     def _slot_fired(self) -> None:
         if not self.started:
             return
+        if self.state is not NodeState.SYNCED or self._slot is None:
+            return  # demoted or rebooted between scheduling and firing
         if self.payload_provider is None:
             return
         payload = self.payload_provider()
@@ -423,12 +598,18 @@ class NodeMac(Component):
     # Slot requests (helpers for the variants)
     # ------------------------------------------------------------------
     def _send_slot_request(self, wanted_slot: Optional[int] = None) -> None:
+        if not self.started:
+            return  # stack stopped (crash) after the request was armed
         if self.state is not NodeState.JOINING:
             return  # a grant arrived in the meantime
         frame = make_slot_request(self._radio.address, self._bs,
                                   wanted_slot=wanted_slot)
         self.counters.slot_requests_sent += 1
         self._join_pending = True
+        self._ssr_attempts += 1
+        if self._recovery is not None and self._supports_ssr_backoff:
+            self._ssr_skip_remaining = \
+                self._recovery.ssr_skip_cycles(self._ssr_attempts)
         self._scheduler.post(
             lambda: self._radio.send(frame),
             self._cal.mcu_costs.packet_preparation,

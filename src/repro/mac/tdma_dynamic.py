@@ -23,6 +23,7 @@ from ..sim.trace import TraceRecorder
 from ..tinyos.scheduler import TaskScheduler
 from .base import BaseStationMac, NodeMac
 from .messages import BeaconPayload, SlotRequestPayload
+from .recovery import RecoveryConfig
 from .slots import SlotSchedule, dynamic_cycle_ticks, dynamic_slot_offset
 from .sync import SyncPolicy, paper_dynamic_policy
 
@@ -81,6 +82,10 @@ class DynamicTdmaConfig:
 class DynamicTdmaNodeMac(NodeMac):
     """Node side of the dynamic TDMA protocol."""
 
+    #: The ES window is a shared contention resource: repeated
+    #: unanswered requests back off exponentially (with recovery on).
+    _supports_ssr_backoff = True
+
     def __init__(self, sim: Simulator, radio: Nrf2401,
                  scheduler: TaskScheduler,
                  calibration: ModelCalibration,
@@ -88,6 +93,7 @@ class DynamicTdmaNodeMac(NodeMac):
                  sync_policy: Optional[SyncPolicy] = None,
                  preassigned_slot: Optional[int] = None,
                  clock_skew_ppm: float = 0.0,
+                 recovery: Optional[RecoveryConfig] = None,
                  trace: Optional[TraceRecorder] = None) -> None:
         self.config = config
         policy = sync_policy if sync_policy is not None \
@@ -98,6 +104,7 @@ class DynamicTdmaNodeMac(NodeMac):
             preassigned_slot=preassigned_slot,
             first_beacon_ticks=config.first_beacon_ticks,
             clock_skew_ppm=clock_skew_ppm,
+            recovery=recovery,
             trace=trace)
 
     def _initial_cycle_ticks(self) -> int:
@@ -167,7 +174,13 @@ class DynamicTdmaBaseMac(BaseStationMac):
 
     def _handle_slot_request(self, payload: SlotRequestPayload) -> None:
         if self.schedule.slot_of(payload.requester) is not None:
-            return  # duplicate request (grant beacon was lost): keep slot
+            # Duplicate request (grant beacon was lost): keep the slot.
+            # Safe against double allocation for the same reason as the
+            # static variant; the dangerous direction was the *node*
+            # side — a synced owner whose slot was inactivity-reclaimed
+            # kept transmitting into a reassignable slot — which the
+            # NodeMac revocation check now closes.
+            return
         free = self.schedule.free_slots()
         slot = free[0] if free else self.schedule.grow()
         self.schedule.assign(slot, payload.requester)

@@ -22,6 +22,7 @@ from ..sim.trace import TraceRecorder
 from ..tinyos.scheduler import TaskScheduler
 from .base import BaseStationMac, NodeMac
 from .messages import BeaconPayload, SlotRequestPayload
+from .recovery import RecoveryConfig
 from .slots import SlotSchedule, static_slot_offset
 from .sync import SyncPolicy, paper_static_policy
 
@@ -64,6 +65,7 @@ class StaticTdmaNodeMac(NodeMac):
                  sync_policy: Optional[SyncPolicy] = None,
                  preassigned_slot: Optional[int] = None,
                  clock_skew_ppm: float = 0.0,
+                 recovery: Optional[RecoveryConfig] = None,
                  trace: Optional[TraceRecorder] = None) -> None:
         self.config = config
         policy = sync_policy if sync_policy is not None \
@@ -74,6 +76,7 @@ class StaticTdmaNodeMac(NodeMac):
             preassigned_slot=preassigned_slot,
             first_beacon_ticks=config.first_beacon_ticks,
             clock_skew_ppm=clock_skew_ppm,
+            recovery=recovery,
             trace=trace)
 
     def _initial_cycle_ticks(self) -> int:
@@ -133,7 +136,13 @@ class StaticTdmaBaseMac(BaseStationMac):
 
     def _handle_slot_request(self, payload: SlotRequestPayload) -> None:
         if self.schedule.slot_of(payload.requester) is not None:
-            return  # duplicate request (grant beacon was lost): keep slot
+            # Duplicate request (grant beacon was lost): keep the slot.
+            # Safe against double allocation: a node only re-requests
+            # after receiving a beacon, every beacon carries the full
+            # slot map, and a synced node whose map entry disappears
+            # surrenders its slot (NodeMac revocation) — so the grant
+            # kept here is always the one the requester will adopt.
+            return
         wanted = payload.wanted_slot
         if wanted is None:
             free = self.schedule.free_slots()

@@ -11,7 +11,7 @@ and insensitive to node count or call order.
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+from typing import Dict, Iterable, Tuple
 
 from ..sim.rng import RngRegistry
 from .topology import BodyTopology
@@ -64,6 +64,42 @@ class PerLinkLoss(LossModel):
         return rng.stream(f"loss.{src}->{dst}").random() < per
 
 
+class DeterministicLoss(LossModel):
+    """Drop exact occurrences of a link's traffic — no randomness.
+
+    Each (src, dst) link keeps an occurrence counter: the n-th call for
+    that link (0-based) is corrupted iff ``n`` is in the link's drop
+    set.  This pins protocol recovery paths in tests — e.g. "drop
+    exactly the grant beacon" or "drop beacons 3..5 at node1" — with
+    the loss decision independent of RNG stream state.
+
+    Args:
+        drops: map from ``(src, dst)`` to the occurrence indices to
+            corrupt on that link.  Unlisted links are perfect.
+    """
+
+    def __init__(self, drops: Dict[Tuple[str, str], Iterable[int]]) -> None:
+        self._drops: Dict[Tuple[str, str], frozenset] = {}
+        for link, indices in drops.items():
+            indices = frozenset(indices)
+            for n in indices:
+                if n < 0:
+                    raise ValueError(
+                        f"occurrence index for link {link} must be >= 0: {n}")
+            self._drops[link] = indices
+        self._seen: Dict[Tuple[str, str], int] = {}
+        self.dropped = 0
+
+    def is_corrupted(self, rng: RngRegistry, src: str, dst: str,
+                     frame_id: int) -> bool:
+        occurrence = self._seen.get((src, dst), 0)
+        self._seen[(src, dst)] = occurrence + 1
+        if occurrence in self._drops.get((src, dst), ()):
+            self.dropped += 1
+            return True
+        return False
+
+
 class DistanceLoss(LossModel):
     """PER grows with link distance on a :class:`BodyTopology`.
 
@@ -98,5 +134,6 @@ __all__ = [
     "PerfectChannel",
     "UniformLoss",
     "PerLinkLoss",
+    "DeterministicLoss",
     "DistanceLoss",
 ]

@@ -1,0 +1,222 @@
+"""Tests for the MAC degradation/recovery machinery under beacon loss.
+
+Uses :class:`~repro.phy.lossmodels.DeterministicLoss` to drop *exact*
+beacons, pinning the missed-beacon paths without RNG coupling:
+
+* widening guard windows across consecutive misses (each sync policy),
+  with the extra RX time booked into the energy ledger;
+* demotion to a duty-cycled reacquisition scan after ``max_missed``
+  misses, and the subsequent resync;
+* the lost-grant-beacon path of the join protocol (no double
+  allocation, the node still joins);
+* node-side slot revocation when a beacon stops listing the owner;
+* capped-exponential SSR backoff in dynamic TDMA under request loss;
+* the ``sync_anomalies`` trap replacing the old silent clamp.
+"""
+
+import pytest
+
+from repro.mac import RecoveryConfig
+from repro.mac.sync import CycleProportionalLead, DriftTrackingLead, \
+    FixedLead
+from repro.net.scenario import BanScenario, BanScenarioConfig
+from repro.phy.lossmodels import DeterministicLoss
+from repro.sim.simtime import milliseconds, seconds
+
+BS = "base_station"
+
+
+def _config(**overrides) -> BanScenarioConfig:
+    defaults = dict(mac="static", app="ecg_streaming", num_nodes=1,
+                    cycle_ms=30.0, measure_s=2.0, seed=3,
+                    recovery=RecoveryConfig())
+    defaults.update(overrides)
+    return BanScenarioConfig(**defaults)
+
+
+def _beacon_drops(*occurrences) -> DeterministicLoss:
+    """Drop exact base-station frames (all beacons here) at node1."""
+    return DeterministicLoss({(BS, "node1"): occurrences})
+
+
+#: One factory per sync policy; each must survive beacon loss.
+POLICIES = {
+    "fixed": lambda cal: FixedLead(milliseconds(1.0)),
+    "proportional": lambda cal: CycleProportionalLead(
+        milliseconds(0.5), 0.01),
+    "drift": lambda cal: DriftTrackingLead(tolerance_ppm=50.0),
+}
+
+
+class TestWidenedWindows:
+    @pytest.mark.parametrize("policy", sorted(POLICIES))
+    def test_two_misses_widen_and_resync(self, policy):
+        factory = POLICIES[policy]
+        clean = BanScenario(_config(sync_policy_factory=factory))
+        clean_result = clean.run()
+        lossy = BanScenario(_config(
+            sync_policy_factory=factory,
+            loss_model=_beacon_drops(20, 21)))
+        lossy_result = lossy.run()
+        mac = lossy.nodes[0].mac
+        # Two consecutive misses stay under max_missed (3): the node
+        # free-runs with widened windows and never demotes.
+        assert mac.counters.beacons_missed == 2
+        assert mac.counters.windows_widened >= 2
+        assert mac.counters.resyncs == 0
+        assert mac.counters.recoveries == 0
+        assert mac.is_synced
+        # The widened RX windows (and full miss timeouts) are real
+        # energy, booked into the node's radio ledger.
+        assert lossy_result.nodes["node1"].radio_mj \
+            > clean_result.nodes["node1"].radio_mj
+
+    def test_without_recovery_no_widening(self):
+        lossy = BanScenario(_config(
+            recovery=None, loss_model=_beacon_drops(20, 21)))
+        lossy.run()
+        mac = lossy.nodes[0].mac
+        assert mac.counters.beacons_missed == 2
+        assert mac.counters.windows_widened == 0
+        assert mac.is_synced
+
+
+class TestReacquisition:
+    def test_demotes_after_max_missed_and_recovers(self):
+        scenario = BanScenario(_config(
+            loss_model=_beacon_drops(20, 21, 22, 23)))
+        scenario.run()
+        mac = scenario.nodes[0].mac
+        assert mac.counters.resyncs >= 1   # demoted to ACQUIRING
+        assert mac.counters.recoveries >= 1  # ... and re-synced
+        assert mac.is_synced
+
+    def test_long_outage_duty_cycles_the_scan(self):
+        # 10 dropped beacons: demotion after 3 misses, then ~7 more
+        # silent cycles in ACQUIRING — past scan_on_cycles (2), so the
+        # receiver pauses at least once instead of burning RX for the
+        # whole outage.
+        drops = tuple(range(20, 30))
+        scenario = BanScenario(_config(loss_model=_beacon_drops(*drops)))
+        scenario.run()
+        mac = scenario.nodes[0].mac
+        assert mac.counters.scan_pauses >= 1
+        assert mac.is_synced
+
+    def test_scan_saves_energy_versus_continuous_listen(self):
+        drops = tuple(range(20, 30))
+        with_scan = BanScenario(_config(loss_model=_beacon_drops(*drops)))
+        with_scan_result = with_scan.run()
+        no_recovery = BanScenario(_config(
+            recovery=None, loss_model=_beacon_drops(*drops)))
+        no_recovery_result = no_recovery.run()
+        assert with_scan.nodes[0].mac.is_synced
+        assert no_recovery.nodes[0].mac.is_synced
+        assert with_scan_result.nodes["node1"].radio_mj \
+            < no_recovery_result.nodes["node1"].radio_mj
+
+
+class TestGrantBeaconLoss:
+    @pytest.mark.parametrize("mac_kind", ["static", "dynamic"])
+    def test_lost_grant_beacon_no_double_allocation(self, mac_kind):
+        # Occurrence 0 is the first beacon (triggers the SSR); the
+        # grant rides in occurrence 1 — drop exactly that one.
+        scenario = BanScenario(_config(
+            mac=mac_kind, join_protocol=True, measure_s=1.0,
+            loss_model=_beacon_drops(1)))
+        scenario.run()
+        mac = scenario.nodes[0].mac
+        schedule = scenario.base_station.mac.schedule
+        assert mac.is_synced
+        assert mac.slot is not None
+        assert schedule.slot_of("node1") == mac.slot
+        # Exactly one slot owned — the kept grant, never a second one.
+        owners = list(schedule.as_map().values())
+        assert owners.count("node1") == 1
+
+
+class TestSlotRevocation:
+    def test_node_surrenders_revoked_slot_and_rejoins(self):
+        scenario = BanScenario(_config(num_nodes=1, num_slots=2,
+                                       measure_s=3.0))
+        bs_schedule = scenario.base_station.mac.schedule
+        # Base-station-side release mid-run (what an inactivity reclaim
+        # does): the next beacon no longer lists node1.
+        scenario.sim.at(seconds(1.0),
+                        lambda: bs_schedule.release("node1"))
+        scenario.run()
+        mac = scenario.nodes[0].mac
+        assert mac.counters.slot_revocations == 1
+        assert mac.is_synced
+        assert mac.slot is not None
+        assert bs_schedule.slot_of("node1") == mac.slot
+        assert list(bs_schedule.as_map().values()).count("node1") == 1
+
+
+class TestSsrBackoff:
+    def test_lost_requests_back_off(self):
+        # Drop the node's first three slot requests (its only uplink
+        # frames while joining); with recovery on, dynamic TDMA skips
+        # beacons between retries on the capped exponential schedule.
+        loss = DeterministicLoss({("node1", BS): (0, 1, 2)})
+        scenario = BanScenario(_config(
+            mac="dynamic", join_protocol=True, measure_s=1.0,
+            loss_model=loss))
+        scenario.run()
+        mac = scenario.nodes[0].mac
+        assert mac.counters.slot_requests_sent >= 4
+        assert mac.counters.ssr_backoffs >= 1
+        assert mac.is_synced
+
+    def test_static_never_backs_off(self):
+        loss = DeterministicLoss({("node1", BS): (0, 1, 2)})
+        scenario = BanScenario(_config(
+            mac="static", join_protocol=True, measure_s=1.0,
+            loss_model=loss))
+        scenario.run()
+        mac = scenario.nodes[0].mac
+        assert mac.counters.ssr_backoffs == 0
+        assert mac.is_synced
+
+
+class TestRecoveryConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RecoveryConfig(widen_factor=0.5)
+        with pytest.raises(ValueError):
+            RecoveryConfig(max_widen_factor=0.5)
+        with pytest.raises(ValueError):
+            RecoveryConfig(scan_on_cycles=0.0)
+        with pytest.raises(ValueError):
+            RecoveryConfig(scan_off_cycles=-1.0)
+        with pytest.raises(ValueError):
+            RecoveryConfig(ssr_backoff_cap_cycles=-1)
+
+    def test_widened_lead_is_capped(self):
+        recovery = RecoveryConfig(widen_factor=2.0, max_widen_factor=4.0)
+        lead = 1000
+        assert recovery.widened_lead(lead, 1) == 2000
+        assert recovery.widened_lead(lead, 2) == 4000
+        assert recovery.widened_lead(lead, 10) == 4000  # capped
+
+    def test_ssr_skip_schedule(self):
+        recovery = RecoveryConfig(ssr_backoff_cap_cycles=8)
+        skips = [recovery.ssr_skip_cycles(n) for n in range(1, 7)]
+        assert skips == [0, 1, 3, 7, 8, 8]  # 2^(n-1)-1, capped at 8
+        assert RecoveryConfig(
+            ssr_backoff_cap_cycles=0).ssr_skip_cycles(5) == 0
+
+
+class TestSyncAnomalyTrap:
+    def test_backwards_bookkeeping_is_counted(self):
+        scenario = BanScenario(_config(trace_capacity=512))
+        scenario.start_all()
+        scenario.sim.run_until(seconds(0.5))
+        mac = scenario.nodes[0].mac
+        assert mac.counters.sync_anomalies == 0
+        # Force the impossible state the old code clamped in silence:
+        # an expectation before the last sync point.
+        mac._last_sync = scenario.sim.now + seconds(1.0)
+        mac._arm_beacon_window(scenario.sim.now + milliseconds(1.0))
+        assert mac.counters.sync_anomalies == 1
+        assert len(scenario.trace.filter(kind="sync_anomaly")) == 1

@@ -78,3 +78,21 @@ class TestTutorialSnippets:
         assert all((MultiBanScenario, ThresholdDeepSleep,
                     fidelity_ladder, evaluate_rpeak_cycles,
                     pareto_front))
+
+    def test_section_7_fault_injection(self):
+        from repro.faults import FaultPlan, NodeCrash
+        from repro.mac import RecoveryConfig
+        from repro.net import BanScenario, BanScenarioConfig
+
+        plan = FaultPlan(faults=(NodeCrash(node="node1", at_s=0.3,
+                                           reboot_after_s=0.5),))
+        config = BanScenarioConfig(mac="static", app="ecg_streaming",
+                                   num_nodes=2, cycle_ms=30.0,
+                                   measure_s=2.0, seed=11, faults=plan,
+                                   recovery=RecoveryConfig())
+        scenario = BanScenario(config)
+        result = scenario.run()
+        assert scenario.fault_injector.summary() == {
+            "node1": {"crashes": 1, "reboots": 1}}
+        assert scenario.nodes[0].mac.is_synced
+        assert BanScenario(config).run() == result
