@@ -11,7 +11,9 @@ Subcommands:
   CSV/JSON/VCD exports;
 * ``explain`` — the closed-form analytic derivation for a scenario;
 * ``baseline`` — the model-fidelity ladder (airtime-only vs full);
-* ``interference`` — two adjacent BANs on one channel.
+* ``interference`` — two adjacent BANs on one channel;
+* ``lint`` — the determinism & simulation-safety static analyser
+  (delegates to :mod:`repro.lint`; see ``docs/static_analysis.md``).
 
 Every subcommand accepts ``--jobs N`` (fan independent scenarios out
 over N worker processes; output identical to sequential) and
@@ -326,6 +328,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", choices=("analytic", "simulate"), default="analytic",
         help="analytic = instant closed form; simulate = one full "
              "discrete-event run per perturbation (use --jobs)")
+
+    # Listed here for --help discoverability; ``main`` hands the raw
+    # argument tail to repro.lint.cli before this tree ever parses it,
+    # so the lint CLI keeps its own flags and exit codes.
+    lint_parser = sub.add_parser(
+        "lint", help="determinism & simulation-safety static analysis "
+                     "(see docs/static_analysis.md)")
+    lint_parser.add_argument("lint_args", nargs=argparse.REMAINDER,
+                             help="arguments for repro.lint "
+                                  "(try: repro-ban lint --help)")
     return parser
 
 
@@ -531,7 +543,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    raw = sys.argv[1:] if argv is None else list(argv)
+    if raw and raw[0] == "lint":
+        from .lint.cli import main as lint_main
+        return lint_main(raw[1:])
+    args = build_parser().parse_args(raw)
     if args.command in TABLE_REPRODUCERS:
         return _cmd_table(args.command, args)
     if args.command == "figure4":

@@ -25,6 +25,7 @@ which is what makes content-addressed caching sound here.
 from __future__ import annotations
 
 import dataclasses
+import enum
 import hashlib
 import pickle
 from pathlib import Path
@@ -55,12 +56,16 @@ class Uncacheable(Exception):
 def _encode(value: Any, out: list) -> None:
     """Append a canonical, unambiguous encoding of ``value`` to ``out``.
 
-    Covers None, bools, ints, floats, strings, bytes, sequences,
+    Covers None, bools, ints, floats, strings, bytes, enums, sequences,
     mappings and (recursively) dataclasses.  Anything else — callables,
     open handles, arbitrary instances — raises :class:`Uncacheable`,
     because equality of such objects does not imply equal behaviour.
     """
-    if value is None or isinstance(value, (bool, int, str, bytes)):
+    if isinstance(value, enum.Enum):
+        cls = type(value)
+        out.append(
+            f"enum:{cls.__module__}.{cls.__qualname__}.{value.name};")
+    elif value is None or isinstance(value, (bool, int, str, bytes)):
         out.append(f"{type(value).__name__}:{value!r};")
     elif isinstance(value, float):
         # hex() is exact: distinct floats never collide, equal floats

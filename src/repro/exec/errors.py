@@ -19,7 +19,7 @@ from __future__ import annotations
 import dataclasses
 import reprlib
 import traceback as _traceback
-from typing import Any, Dict
+from typing import Any, Dict, List, Sequence
 
 
 class ScenarioTimeoutError(RuntimeError):
@@ -99,7 +99,7 @@ def timeout_result(index: int, item: Any, timeout_s: float,
     )
 
 
-def failures(results) -> list:
+def failures(results: Sequence[Any]) -> List[ErrorResult]:
     """The :class:`ErrorResult` entries of a batch, in order."""
     return [item for item in results if isinstance(item, ErrorResult)]
 

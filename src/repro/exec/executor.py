@@ -61,10 +61,15 @@ from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from functools import partial
 from time import perf_counter
-from typing import Any, Callable, List, Optional, Sequence, Set, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, List, Optional,
+                    Sequence, Set, Tuple)
 
 from .cache import ResultCache
 from .errors import ErrorResult, ScenarioTimeoutError, timeout_result
+
+if TYPE_CHECKING:  # imported lazily at runtime (workers build their own)
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.profiler import SimulationProfiler
 
 
 def _run_config_worker(config: Any) -> Any:
@@ -145,7 +150,8 @@ class ScenarioExecutor:
 
     def __init__(self, jobs: Optional[int] = 1,
                  cache: Optional[ResultCache] = None,
-                 metrics=None, profiler=None,
+                 metrics: Optional["MetricsRegistry"] = None,
+                 profiler: Optional["SimulationProfiler"] = None,
                  isolate_errors: bool = False,
                  timeout_s: Optional[float] = None,
                  retries: int = 0) -> None:
@@ -203,6 +209,7 @@ class ScenarioExecutor:
         """Evaluate one item in-process under the isolation policy."""
         try:
             return fn(items[index])
+        # lint: allow(EXC001): isolation contract, re-raised otherwise
         except Exception as exc:
             if not self.isolate_errors:
                 raise
@@ -251,6 +258,7 @@ class ScenarioExecutor:
                         results[index] = timeout_result(
                             index, items[index], self.timeout_s, attempt)
                         done.add(index)
+                    # lint: allow(EXC001): per-item capture, deferred
                     except Exception as exc:
                         # Raised by fn inside the worker (including
                         # OSError — previously mistaken for a pool

@@ -14,8 +14,7 @@ overhead"); application packets are *data*.
 from __future__ import annotations
 
 import enum
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 #: Destination address meaning "all nodes" (beacons use it).
@@ -36,9 +35,6 @@ class FrameKind(enum.Enum):
         return self is not FrameKind.DATA
 
 
-_frame_ids = itertools.count(1)
-
-
 @dataclass(frozen=True)
 class Frame:
     """One over-the-air frame.
@@ -50,7 +46,12 @@ class Frame:
         payload_bytes: on-air payload size in bytes; drives airtime.
         payload: the modelled payload content (dict or dataclass); not
             serialised, but available to the receiver's MAC/application.
-        frame_id: unique id for tracing and duplicate detection.
+        frame_id: serial for tracing and in-flight bookkeeping.  0
+            means "not yet transmitted": the radio stamps a
+            per-simulation serial on first send, so ids restart at 1
+            for every scenario.  (The previous process-global counter
+            made the second run in one process trace different serials
+            than the first; caught by tools/determinism_check.py.)
     """
 
     src: str
@@ -58,7 +59,7 @@ class Frame:
     kind: FrameKind
     payload_bytes: int
     payload: Any = None
-    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+    frame_id: int = 0
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:

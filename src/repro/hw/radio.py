@@ -242,6 +242,11 @@ class Nrf2401:
             # chip retunes the synthesizer, accounted in the TX settle).
             self._rx_since = None
         self._tx_busy = True
+        if frame.frame_id == 0:
+            # First transmit: stamp the per-simulation serial (Frame is
+            # frozen, so ids survive retransmits of the same object).
+            object.__setattr__(frame, "frame_id",
+                               self._sim.next_serial())
         timing = self._cal.radio_timing
         self.ledger.transition(TX, tag="settle")
         if self._trace is not None:

@@ -1,0 +1,58 @@
+"""Determinism & simulation-safety lint suite (``repro.lint``).
+
+The paper's headline claim is an energy estimate within ~4 % of
+hardware; this reproduction's equivalent claim is *bit-exact
+determinism* — the result cache, the "merged parallel metrics equal
+sequential" invariant and the "no-fault ledgers stay byte-identical"
+guarantee all silently break if simulation code starts drawing from the
+global RNG, reading the wall clock, or iterating a ``set`` where the
+order can reach the event queue.  ``repro.lint`` turns those reviewer
+rules into named, machine-checked ones:
+
+========  ==========================================================
+Code      Rule
+========  ==========================================================
+DET001    no global/module-level RNG draws (seeded ``random.Random``
+          / NumPy ``Generator`` instances stay legal)
+DET002    no wall-clock reads outside the configured allowlist
+DET003    no iteration over sets in order-sensitive packages
+FLT001    no float ``==``/``!=`` on energy/time-like values
+EXC001    no bare or overbroad ``except`` without a reasoned waiver
+MUT001    no mutable default arguments
+CFG001    cache-fingerprinted config dataclasses must be annotated
+          and hash-stable
+========  ==========================================================
+
+Run it as ``repro-ban lint src`` or ``python -m repro.lint src``.
+Findings are suppressed per line with a *reasoned* comment::
+
+    except Exception as exc:  # lint: allow(EXC001): re-raised annotated
+
+A suppression without a reason does not suppress — it is itself
+reported (SUP001).  Rule configuration lives in ``pyproject.toml``
+under ``[tool.repro-lint]``; see :mod:`repro.lint.config` and
+``docs/static_analysis.md`` for the catalog and the suppression
+policy.  The dynamic counterpart proving these static rules guard a
+real invariant is ``tools/determinism_check.py``.
+"""
+
+from __future__ import annotations
+
+from .config import LintConfig, load_config
+from .engine import FileContext, Finding, LintReport, lint_paths, lint_source
+from .report import render_json, render_text
+from .rules import RULES, all_rule_codes
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "RULES",
+    "all_rule_codes",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,257 @@
+"""Lint engine: file walking, suppression handling, finding plumbing.
+
+The engine is rule-agnostic: it parses each file once, builds a
+:class:`FileContext`, asks every enabled rule for findings, then
+resolves per-line suppressions.  Suppressions are *reasoned waivers*::
+
+    risky_line()  # lint: allow(EXC001): re-raised annotated below
+
+A waiver may sit on the flagged line or alone on the line above (for
+statements too long to share a line).  ``allow(...)`` takes one or more
+comma-separated rule codes.  The reason — the text after the closing
+``):`` — is mandatory: a reasonless waiver suppresses nothing and is
+itself reported as SUP001, so every exception to a rule is documented
+at the point of use.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .config import LintConfig
+
+#: Matches one suppression comment.  Group 1: the rule-code list;
+#: group 2: the reason (possibly empty).
+_SUPPRESS_RE = re.compile(
+    r"#\s*lint:\s*allow\(\s*([A-Z][A-Z0-9]*(?:\s*,\s*[A-Z][A-Z0-9]*)*)"
+    r"\s*\)\s*(?::\s*(.*?))?\s*$")
+
+#: Reserved code for engine-level findings about suppressions.
+SUPPRESSION_RULE = "SUP001"
+#: Reserved code for files the parser rejects.
+PARSE_RULE = "PARSE"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation (or engine diagnostic) at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    #: True once a reasoned waiver claimed this finding.
+    suppressed: bool = False
+    #: The waiver's reason string (suppressed findings only).
+    reason: Optional[str] = None
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``# lint: allow(...)`` comment."""
+
+    line: int
+    codes: Tuple[str, ...]
+    reason: str
+    #: Line numbers this waiver covers (its own, plus the next line
+    #: when the comment stands alone).
+    applies_to: Tuple[int, ...]
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs to check one file."""
+
+    #: Display path (as passed on the command line / relative to root).
+    path: str
+    #: Module path inside the package, e.g. ``sim/kernel.py`` — what
+    #: allowlists and package filters match against.
+    module_path: str
+    #: Top-level package name (``sim``, ``mac``, ...), "" at the root.
+    package: str
+    tree: ast.AST
+    lines: List[str]
+    config: LintConfig
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(rule=rule, path=self.path,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0) + 1,
+                       message=message)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+
+    @property
+    def unsuppressed(self) -> List[Finding]:
+        return [f for f in self.findings if not f.suppressed]
+
+    @property
+    def suppressed(self) -> List[Finding]:
+        return [f for f in self.findings if f.suppressed]
+
+    @property
+    def ok(self) -> bool:
+        """True when the run gates green (no unsuppressed findings)."""
+        return not self.unsuppressed
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for item in self.unsuppressed:
+            counts[item.rule] = counts.get(item.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def parse_suppressions(lines: Sequence[str]
+                       ) -> Tuple[List[Suppression], List[Tuple[int, str]]]:
+    """Extract waivers from source lines.
+
+    Returns ``(suppressions, errors)`` where each error is a
+    ``(line, message)`` for a waiver missing its reason string.
+    """
+    suppressions: List[Suppression] = []
+    errors: List[Tuple[int, str]] = []
+    for number, text in enumerate(lines, start=1):
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        codes = tuple(code.strip()
+                      for code in match.group(1).split(","))
+        reason = (match.group(2) or "").strip()
+        if not reason:
+            errors.append((
+                number,
+                "suppression missing reason: write "
+                "# lint: allow(%s): <why this is safe>"
+                % ", ".join(codes)))
+            continue
+        standalone = text[:match.start()].strip() == ""
+        applies = (number, number + 1) if standalone else (number,)
+        suppressions.append(Suppression(line=number, codes=codes,
+                                        reason=reason,
+                                        applies_to=applies))
+    return suppressions, errors
+
+
+def _apply_suppressions(findings: List[Finding],
+                        suppressions: Sequence[Suppression]
+                        ) -> List[Finding]:
+    """Mark findings claimed by a reasoned waiver as suppressed."""
+    by_line: Dict[int, List[Suppression]] = {}
+    for suppression in suppressions:
+        for line in suppression.applies_to:
+            by_line.setdefault(line, []).append(suppression)
+    resolved: List[Finding] = []
+    for item in findings:
+        waiver = next(
+            (s for s in by_line.get(item.line, ())
+             if item.rule in s.codes),
+            None)
+        if waiver is not None and item.rule != SUPPRESSION_RULE:
+            item = replace(item, suppressed=True, reason=waiver.reason)
+        resolved.append(item)
+    return resolved
+
+
+def _module_path(path: Path, package_root_name: str = "repro") -> str:
+    """Path inside the package: parts after the last ``repro`` dir.
+
+    Falls back to the file name for paths outside any ``repro`` tree,
+    so allowlist suffix matching still has something to bite on.
+    """
+    parts = path.as_posix().split("/")
+    if package_root_name in parts:
+        index = len(parts) - 1 - parts[::-1].index(package_root_name)
+        inner = parts[index + 1:]
+        if inner:
+            return "/".join(inner)
+    return parts[-1]
+
+
+def lint_source(source: str, path: str, config: Optional[LintConfig] = None,
+                module_path: Optional[str] = None) -> List[Finding]:
+    """Lint one file's text; the core single-file entry point."""
+    from .rules import RULES  # late: rules import engine types
+    config = config or LintConfig()
+    if module_path is None:
+        module_path = _module_path(Path(path))
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [Finding(rule=PARSE_RULE, path=path,
+                        line=exc.lineno or 1, col=(exc.offset or 0) + 1,
+                        message=f"file does not parse: {exc.msg}")]
+    package = module_path.split("/")[0] if "/" in module_path else ""
+    context = FileContext(path=path, module_path=module_path,
+                          package=package, tree=tree,
+                          lines=lines, config=config)
+    findings: List[Finding] = []
+    for code, rule in RULES.items():
+        if config.rule_enabled(code):
+            findings.extend(rule(context))
+    suppressions, errors = parse_suppressions(lines)
+    for line, message in errors:
+        findings.append(Finding(rule=SUPPRESSION_RULE, path=path,
+                                line=line, col=1, message=message))
+    findings = _apply_suppressions(findings, suppressions)
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Yield ``*.py`` files under ``paths`` in sorted order."""
+    for path in paths:
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if "__pycache__" not in candidate.parts:
+                    yield candidate
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Sequence[Path],
+               config: Optional[LintConfig] = None) -> LintReport:
+    """Lint every Python file under ``paths`` into one report."""
+    config = config or LintConfig()
+    report = LintReport()
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        module_path = _module_path(file_path)
+        if any(module_path.endswith(suffix) or file_path.match(suffix)
+               for suffix in config.exclude):
+            continue
+        source = file_path.read_text(encoding="utf-8")
+        report.findings.extend(
+            lint_source(source, str(file_path), config,
+                        module_path=module_path))
+        report.files_scanned += 1
+    report.findings.sort(key=Finding.sort_key)
+    return report
+
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintReport",
+    "PARSE_RULE",
+    "SUPPRESSION_RULE",
+    "Suppression",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "parse_suppressions",
+]

@@ -39,7 +39,7 @@ from __future__ import annotations
 
 from heapq import heappop, heappush
 from time import perf_counter
-from typing import Callable, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from .events import (
     EVT_CALLBACK,
@@ -52,6 +52,10 @@ from .events import (
 )
 from .rng import RngRegistry
 from .trace import TraceRecorder
+
+if TYPE_CHECKING:  # repro.obs stays an optional, opt-in dependency
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.profiler import SimulationProfiler
 
 
 class Simulator:
@@ -66,7 +70,8 @@ class Simulator:
     """
 
     __slots__ = ("_now", "_queue", "_running", "_dispatched", "rng",
-                 "trace", "_end_hooks", "profiler", "metrics")
+                 "trace", "_end_hooks", "profiler", "metrics",
+                 "_serial")
 
     def __init__(self, seed: int = 0,
                  trace: Optional[TraceRecorder] = None) -> None:
@@ -74,17 +79,18 @@ class Simulator:
         self._queue = EventQueue()
         self._running = False
         self._dispatched = 0
+        self._serial = 0
         self.rng = RngRegistry(seed)
         self.trace = trace
         self._end_hooks: List[Callable[[], None]] = []
         #: Optional :class:`~repro.obs.profiler.SimulationProfiler`;
         #: when set, ``run_until`` times every callback (slower, but
         #: event order and energies are unchanged).
-        self.profiler = None
+        self.profiler: Optional["SimulationProfiler"] = None
         #: Optional :class:`~repro.obs.metrics.MetricsRegistry`; when
         #: set, each ``run_until`` call records its dispatch count and
         #: rate (cost is per *call*, never per event).
-        self.metrics = None
+        self.metrics: Optional["MetricsRegistry"] = None
 
     # ------------------------------------------------------------------
     # Clock
@@ -197,6 +203,7 @@ class Simulator:
                         event[callback_i]()
                     except SimulationError:
                         raise
+                    # lint: allow(EXC001): wrapped into SimulationError
                     except Exception as exc:
                         raise SimulationError(
                             f"event {event[label_i]!r} at t={time} "
@@ -218,6 +225,7 @@ class Simulator:
                         event[callback_i]()
                     except SimulationError:
                         raise
+                    # lint: allow(EXC001): wrapped into SimulationError
                     except Exception as exc:
                         raise SimulationError(
                             f"event {event[label_i]!r} at t={time} "
@@ -232,7 +240,8 @@ class Simulator:
         for hook in self._end_hooks:
             hook()
 
-    def _record_run_metrics(self, metrics, dispatched: int,
+    def _record_run_metrics(self, metrics: "MetricsRegistry",
+                            dispatched: int,
                             elapsed_s: float) -> None:
         """Record one ``run_until`` call's dispatch figures.
 
@@ -262,7 +271,7 @@ class Simulator:
         callback_i, label_i = EVT_CALLBACK, EVT_LABEL
         dispatched = 0
         start_now = self._now
-        aggregate: dict = {}
+        aggregate: Dict[str, List[float]] = {}
         self._running = True
         loop_start = clock()
         try:
@@ -284,6 +293,7 @@ class Simulator:
                     event[callback_i]()
                 except SimulationError:
                     raise
+                # lint: allow(EXC001): wrapped into SimulationError
                 except Exception as exc:
                     raise SimulationError(
                         f"event {label!r} at t={time} "
@@ -296,6 +306,7 @@ class Simulator:
                     else:
                         entry[0] += elapsed
                         entry[1] += 1
+        # lint: allow(EXC001): profiler flush before a bare re-raise
         except BaseException:
             self._running = False
             self._dispatched += dispatched
@@ -345,6 +356,7 @@ class Simulator:
                     event[EVT_CALLBACK]()
                 except SimulationError:
                     raise
+                # lint: allow(EXC001): wrapped into SimulationError
                 except Exception as exc:
                     raise SimulationError(
                         f"event {event[EVT_LABEL]!r} at t={time} "
@@ -353,6 +365,18 @@ class Simulator:
             self._running = False
         for hook in self._end_hooks:
             hook()
+
+    def next_serial(self) -> int:
+        """Next value of a deterministic per-simulation serial counter.
+
+        For entity serials that must be unique within one simulation —
+        frame ids, for instance.  Kept on the simulator (not a module
+        global) so repeat runs in one process, and runs in pooled
+        workers, number identically: the determinism contract covers
+        trace text too.
+        """
+        self._serial += 1
+        return self._serial
 
     def pending_events(self) -> int:
         """Number of *live* events currently queued.

@@ -42,6 +42,7 @@ class TaskScheduler:
         self._queue: Deque[Task] = deque()
         self._dispatching = False
         self._tasks_run = 0
+        self._next_task_id = 1
         #: How to sleep when the queue drains (default: the paper's
         #: LPM0-only behaviour).
         self.power_policy: DeepSleepPolicy = Lpm0Only()
@@ -63,7 +64,9 @@ class TaskScheduler:
             cycles: MCU active cost in core clock cycles.
             label: trace name.
         """
-        task = Task(body=body, cycles=cycles, label=label)
+        task = Task(body=body, cycles=cycles, label=label,
+                    task_id=self._next_task_id)
+        self._next_task_id += 1
         self._queue.append(task)
         if not self._dispatching:
             self._start_dispatch()

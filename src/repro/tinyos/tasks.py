@@ -15,12 +15,8 @@ observable is time-in-power-state.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
-
-
-_task_ids = itertools.count(1)
 
 
 @dataclass(frozen=True)
@@ -31,13 +27,17 @@ class Task:
         body: the computation to run at dispatch.
         cycles: MCU active cost in core clock cycles (>= 0).
         label: short name for traces.
-        task_id: unique id (post order), for debugging.
+        task_id: post-order id, unique *within its scheduler* and
+            assigned by it.  A process-global counter here would leak
+            state between scenarios: the second run in one process
+            would trace different serials than the first (repro.lint
+            DET001-adjacent; caught by tools/determinism_check.py).
     """
 
     body: Callable[[], None]
     cycles: int
     label: str = ""
-    task_id: int = field(default_factory=lambda: next(_task_ids))
+    task_id: int = 0
 
     def __post_init__(self) -> None:
         if self.cycles < 0:

@@ -1,0 +1,451 @@
+"""Tests for the determinism & simulation-safety linter (repro.lint).
+
+Every rule is exercised in both directions — it must fire on the
+violating fixture and stay silent on the compliant variant — plus the
+suppression machinery (including missing-reason rejection), the JSON
+reporter schema, configuration handling, the CLI, and the meta-test
+that ``src/repro`` itself lints clean under the repository's own
+``pyproject.toml`` configuration.
+"""
+
+import json
+import pathlib
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+from repro.lint import (
+    LintConfig,
+    RULES,
+    all_rule_codes,
+    lint_paths,
+    lint_source,
+    load_config,
+    render_json,
+    render_text,
+)
+from repro.lint.cli import main as lint_main
+from repro.lint.config import ConfigError, config_from_table
+from repro.lint.engine import parse_suppressions
+from repro.lint.report import SCHEMA_VERSION, report_to_dict
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def rules_fired(source, module_path="x.py", config=None):
+    """Rule codes of the unsuppressed findings for a snippet."""
+    findings = lint_source(source, "<fixture>", config or LintConfig(),
+                           module_path=module_path)
+    return [f.rule for f in findings if not f.suppressed]
+
+
+# ----------------------------------------------------------------------
+# Per-rule fixtures: each fires on the violation, not on the fix
+# ----------------------------------------------------------------------
+class TestDet001GlobalRng:
+    def test_module_level_draw_fires(self):
+        assert rules_fired("import random\nx = random.random()\n") \
+            == ["DET001"]
+
+    def test_global_seed_and_shuffle_fire(self):
+        source = "import random\nrandom.seed(3)\nrandom.shuffle(xs)\n"
+        assert rules_fired(source) == ["DET001", "DET001"]
+
+    def test_import_of_draw_function_fires(self):
+        assert rules_fired("from random import randint\n") == ["DET001"]
+
+    def test_numpy_global_draw_fires(self):
+        assert rules_fired(
+            "import numpy as np\nx = np.random.rand(4)\n") == ["DET001"]
+
+    def test_numpy_random_submodule_alias_fires(self):
+        source = "from numpy import random as nr\nx = nr.normal()\n"
+        assert rules_fired(source) == ["DET001"]
+
+    def test_seeded_instances_are_legal(self):
+        source = (
+            "import random\n"
+            "import numpy as np\n"
+            "r = random.Random(7)\n"
+            "x = r.random()\n"
+            "g = np.random.default_rng(3)\n"
+            "y = g.normal()\n"
+            "from random import Random\n")
+        assert rules_fired(source) == []
+
+
+class TestDet002WallClock:
+    def test_time_module_read_fires(self):
+        assert rules_fired("import time\nt = time.time()\n") \
+            == ["DET002"]
+
+    def test_perf_counter_import_and_call_fire(self):
+        source = "from time import perf_counter\nt = perf_counter()\n"
+        assert rules_fired(source) == ["DET002", "DET002"]
+
+    def test_datetime_now_fires(self):
+        source = "from datetime import datetime\nx = datetime.now()\n"
+        assert rules_fired(source) == ["DET002"]
+
+    def test_time_sleep_is_not_a_clock_read(self):
+        assert rules_fired("import time\ntime.sleep(1)\n") == []
+
+    def test_allowlisted_file_is_exempt(self):
+        config = LintConfig(det002_allow=("obs/profiler.py",))
+        source = "from time import perf_counter\nt = perf_counter()\n"
+        assert rules_fired(source, "obs/profiler.py", config) == []
+        assert rules_fired(source, "mac/base.py", config) \
+            == ["DET002", "DET002"]
+
+
+class TestDet003SetIteration:
+    def test_set_literal_iteration_fires(self):
+        assert rules_fired("for x in {1, 2}:\n    pass\n",
+                           "sim/kernel.py") == ["DET003"]
+
+    def test_set_call_iteration_fires(self):
+        assert rules_fired("for x in set(items):\n    pass\n",
+                           "mac/base.py") == ["DET003"]
+
+    def test_known_set_variable_fires(self):
+        source = "seen = set()\nout = [x for x in seen]\n"
+        assert rules_fired(source, "net/scenario.py") == ["DET003"]
+
+    def test_annotated_set_argument_fires(self):
+        source = ("from typing import Set\n"
+                  "def f(pending: Set[str]) -> None:\n"
+                  "    for item in pending:\n"
+                  "        pass\n")
+        assert rules_fired(source, "faults/injector.py") == ["DET003"]
+
+    def test_list_of_set_fires(self):
+        assert rules_fired("xs = list({1, 2})\n", "sim/events.py") \
+            == ["DET003"]
+
+    def test_sorted_set_is_legal(self):
+        source = "s = {1, 2}\nfor x in sorted(s):\n    pass\n"
+        assert rules_fired(source, "sim/kernel.py") == []
+
+    def test_dict_iteration_is_legal(self):
+        # Dict views are insertion-ordered: deterministic.
+        source = "d = {'a': 1}\nfor k in d:\n    pass\n"
+        assert rules_fired(source, "sim/kernel.py") == []
+
+    def test_outside_ordered_packages_is_silent(self):
+        assert rules_fired("for x in {1, 2}:\n    pass\n",
+                           "analysis/sweep.py") == []
+
+
+class TestFlt001FloatEquality:
+    def test_energy_name_fires(self):
+        assert rules_fired("ok = energy_mj == 0.0\n") == ["FLT001"]
+
+    def test_attribute_name_fires(self):
+        assert rules_fired("ok = a.elapsed_s != b.elapsed_s\n") \
+            == ["FLT001"]
+
+    def test_fractional_literal_fires(self):
+        assert rules_fired("ok = x == 2.5\n") == ["FLT001"]
+
+    def test_zero_sentinel_on_neutral_name_is_legal(self):
+        # `per == 0.0` style disabled-feature guards are exact.
+        assert rules_fired("ok = magnitude == 0.0\n") == []
+
+    def test_ordering_comparisons_are_legal(self):
+        assert rules_fired("ok = energy_mj > 0.0\n") == []
+
+
+class TestExc001BroadExcept:
+    def test_except_exception_fires(self):
+        source = "try:\n    f()\nexcept Exception:\n    pass\n"
+        assert rules_fired(source) == ["EXC001"]
+
+    def test_bare_except_fires(self):
+        source = "try:\n    f()\nexcept:\n    pass\n"
+        assert rules_fired(source) == ["EXC001"]
+
+    def test_tuple_with_base_exception_fires(self):
+        source = ("try:\n    f()\n"
+                  "except (ValueError, BaseException):\n    pass\n")
+        assert rules_fired(source) == ["EXC001"]
+
+    def test_narrow_except_is_legal(self):
+        source = "try:\n    f()\nexcept (OSError, ValueError):\n    pass\n"
+        assert rules_fired(source) == []
+
+
+class TestMut001MutableDefaults:
+    def test_list_default_fires(self):
+        assert rules_fired("def f(x=[]):\n    pass\n") == ["MUT001"]
+
+    def test_dict_call_default_fires(self):
+        assert rules_fired("def f(*, x=dict()):\n    pass\n") \
+            == ["MUT001"]
+
+    def test_none_and_tuple_defaults_are_legal(self):
+        assert rules_fired("def f(x=None, y=()):\n    pass\n") == []
+
+
+class TestCfg001ConfigDataclasses:
+    def test_unannotated_field_fires(self):
+        source = ("from dataclasses import dataclass\n"
+                  "@dataclass\n"
+                  "class FooConfig:\n"
+                  "    x = 3\n")
+        assert rules_fired(source, "net/scenario.py") == ["CFG001"]
+
+    def test_set_typed_field_fires(self):
+        source = ("from dataclasses import dataclass\n"
+                  "from typing import FrozenSet\n"
+                  "@dataclass\n"
+                  "class FooConfig:\n"
+                  "    tags: FrozenSet[str] = frozenset()\n")
+        assert rules_fired(source, "net/scenario.py") == ["CFG001"]
+
+    def test_mutable_default_fires(self):
+        source = ("from dataclasses import dataclass\n"
+                  "@dataclass\n"
+                  "class FooSpec:\n"
+                  "    xs: list = []\n")
+        assert rules_fired(source, "mac/recovery.py") == ["CFG001"]
+
+    def test_field_default_factory_is_legal(self):
+        source = ("from dataclasses import dataclass, field\n"
+                  "@dataclass\n"
+                  "class FooConfig:\n"
+                  "    xs: tuple = ()\n"
+                  "    m: dict = field(default_factory=dict)\n")
+        assert rules_fired(source, "net/scenario.py") == []
+
+    def test_non_config_class_is_ignored(self):
+        source = ("from dataclasses import dataclass\n"
+                  "@dataclass\n"
+                  "class Helper:\n"
+                  "    x = 3\n")
+        assert rules_fired(source, "net/scenario.py") == []
+
+    def test_outside_fingerprinted_packages_is_silent(self):
+        source = ("from dataclasses import dataclass\n"
+                  "@dataclass\n"
+                  "class FooConfig:\n"
+                  "    x = 3\n")
+        assert rules_fired(source, "analysis/sweep.py") == []
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+class TestSuppressions:
+    SOURCE = "try:\n    f()\nexcept Exception:{comment}\n    pass\n"
+
+    def test_reasoned_same_line_waiver_suppresses(self):
+        source = self.SOURCE.format(
+            comment="  # lint: allow(EXC001): isolated and re-raised")
+        findings = lint_source(source, "<fixture>", LintConfig())
+        assert [f.rule for f in findings] == ["EXC001"]
+        assert findings[0].suppressed
+        assert findings[0].reason == "isolated and re-raised"
+
+    def test_standalone_line_waiver_covers_next_line(self):
+        source = ("try:\n    f()\n"
+                  "# lint: allow(EXC001): crash containment\n"
+                  "except Exception:\n    pass\n")
+        findings = lint_source(source, "<fixture>", LintConfig())
+        assert [f.suppressed for f in findings] == [True]
+
+    def test_missing_reason_rejected_and_reported(self):
+        source = self.SOURCE.format(comment="  # lint: allow(EXC001)")
+        findings = lint_source(source, "<fixture>", LintConfig())
+        rules = sorted(f.rule for f in findings if not f.suppressed)
+        assert rules == ["EXC001", "SUP001"]
+
+    def test_empty_reason_rejected(self):
+        source = self.SOURCE.format(comment="  # lint: allow(EXC001):  ")
+        rules = sorted(rules_fired(source))
+        assert rules == ["EXC001", "SUP001"]
+
+    def test_wrong_code_does_not_suppress(self):
+        source = self.SOURCE.format(
+            comment="  # lint: allow(DET001): not the right rule")
+        assert rules_fired(source) == ["EXC001"]
+
+    def test_multi_code_waiver(self):
+        source = ("import time\n"
+                  "t = time.time()  "
+                  "# lint: allow(DET002, FLT001): bench-only path\n")
+        findings = lint_source(source, "<fixture>", LintConfig())
+        assert [f.suppressed for f in findings] == [True]
+
+    def test_parse_suppressions_reports_positions(self):
+        suppressions, errors = parse_suppressions([
+            "x = 1  # lint: allow(DET001): seeded upstream",
+            "# lint: allow(DET002)",
+        ])
+        assert suppressions[0].codes == ("DET001",)
+        assert suppressions[0].applies_to == (1,)
+        assert errors == [(2, errors[0][1])]
+        assert "missing reason" in errors[0][1]
+
+
+# ----------------------------------------------------------------------
+# Reporters
+# ----------------------------------------------------------------------
+class TestReporters:
+    def _report(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n"
+                       "try:\n    f()\n"
+                       "except Exception:  # lint: allow(EXC001): ok here\n"
+                       "    pass\n")
+        return lint_paths([tmp_path], LintConfig())
+
+    def test_json_schema(self, tmp_path):
+        report = self._report(tmp_path)
+        document = json.loads(render_json(report))
+        assert document["tool"] == "repro.lint"
+        assert document["schema_version"] == SCHEMA_VERSION
+        assert document["ok"] is False
+        assert document["files_scanned"] == 1
+        assert document["summary"]["total"] == 1
+        assert document["summary"]["suppressed"] == 1
+        assert document["summary"]["by_rule"] == {"DET001": 1}
+        finding = document["findings"][0]
+        assert set(finding) == {"rule", "path", "line", "col",
+                                "message", "suppressed", "reason"}
+        waived = [f for f in document["findings"] if f["suppressed"]]
+        assert waived[0]["reason"] == "ok here"
+
+    def test_json_roundtrip_is_stable(self, tmp_path):
+        report = self._report(tmp_path)
+        assert render_json(report) == render_json(report)
+        assert report_to_dict(report) == json.loads(render_json(report))
+
+    def test_text_reporter_summarises(self, tmp_path):
+        report = self._report(tmp_path)
+        text = render_text(report)
+        assert "DET001" in text
+        assert "1 finding(s)" in text
+        assert "1 waived" in text
+
+    def test_text_reporter_clean_summary(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        report = lint_paths([tmp_path / "ok.py"], LintConfig())
+        assert "clean: 1 file(s), 0 findings" in render_text(report)
+
+
+# ----------------------------------------------------------------------
+# Configuration
+# ----------------------------------------------------------------------
+class TestConfiguration:
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ConfigError):
+            config_from_table({"selct": ["DET001"]})
+        with pytest.raises(ConfigError):
+            config_from_table({"det002": {"alow": []}})
+
+    def test_select_limits_rules(self):
+        config = config_from_table({"select": ["EXC001"]})
+        source = "import random\nrandom.random()\n"
+        assert rules_fired(source, config=config) == []
+        assert config.rule_enabled("EXC001")
+        assert not config.rule_enabled("DET001")
+
+    def test_repo_pyproject_parses(self):
+        config = load_config(pyproject=ROOT / "pyproject.toml")
+        assert "sim/kernel.py" in config.det002_allow
+        assert "sim" in config.det003_packages
+
+    def test_rule_registry_complete(self):
+        assert all_rule_codes() == ("CFG001", "DET001", "DET002",
+                                    "DET003", "EXC001", "FLT001",
+                                    "MUT001")
+        for rule in RULES.values():
+            assert rule.title and rule.rationale
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+class TestCli:
+    def test_exit_zero_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert lint_main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_exit_one_on_findings(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("def f(x=[]):\n    pass\n")
+        assert lint_main([str(tmp_path)]) == 1
+        assert "MUT001" in capsys.readouterr().out
+
+    def test_exit_two_on_missing_path(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "nope")]) == 2
+
+    def test_json_output_file(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import time\ntime.time()\n")
+        out = tmp_path / "report.json"
+        code = lint_main([str(tmp_path), "--format", "json",
+                          "--output", str(out)])
+        assert code == 1
+        document = json.loads(out.read_text())
+        assert document["summary"]["by_rule"] == {"DET002": 1}
+        assert str(out) in capsys.readouterr().out
+
+    def test_select_option(self, tmp_path):
+        (tmp_path / "bad.py").write_text("import time\ntime.time()\n")
+        assert lint_main([str(tmp_path), "--select", "MUT001"]) == 0
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in all_rule_codes():
+            assert code in out
+
+    def test_module_entry_point(self, tmp_path):
+        (tmp_path / "bad.py").write_text("import random\n"
+                                         "random.random()\n")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", str(tmp_path)],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(ROOT / "src"), "PATH": "/usr/bin"})
+        assert proc.returncode == 1
+        assert "DET001" in proc.stdout
+
+
+# ----------------------------------------------------------------------
+# Meta: the tree itself, and the typing gate
+# ----------------------------------------------------------------------
+class TestTreeIsClean:
+    def test_src_repro_lints_clean(self):
+        """The acceptance gate: zero unsuppressed findings over src."""
+        config = load_config(pyproject=ROOT / "pyproject.toml")
+        report = lint_paths([ROOT / "src"], config)
+        assert report.ok, render_text(report)
+
+    def test_every_suppression_has_a_reason(self):
+        config = load_config(pyproject=ROOT / "pyproject.toml")
+        report = lint_paths([ROOT / "src"], config)
+        for finding in report.suppressed:
+            assert finding.reason, finding
+
+    def test_waivers_are_few_and_in_expected_files(self):
+        # Waivers should stay rare; a jump means rules are being
+        # waived instead of followed.
+        config = load_config(pyproject=ROOT / "pyproject.toml")
+        report = lint_paths([ROOT / "src"], config)
+        assert len(report.suppressed) <= 12, [
+            (f.path, f.line) for f in report.suppressed]
+        waived_files = {pathlib.Path(f.path).name
+                        for f in report.suppressed}
+        assert waived_files <= {"kernel.py", "executor.py"}
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None,
+                    reason="mypy not installed (CI runs it)")
+class TestTyping:
+    def test_mypy_clean_over_configured_packages(self):
+        proc = subprocess.run(
+            ["mypy", "--config-file", str(ROOT / "pyproject.toml")],
+            capture_output=True, text=True, cwd=ROOT)
+        assert proc.returncode == 0, proc.stdout + proc.stderr

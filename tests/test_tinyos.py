@@ -21,10 +21,15 @@ class TestTask:
         with pytest.raises(ValueError):
             Task(body=lambda: None, cycles=-1)
 
-    def test_ids_increase_in_post_order(self):
-        a = Task(body=lambda: None, cycles=0)
-        b = Task(body=lambda: None, cycles=0)
+    def test_ids_increase_in_post_order(self, sim, cal):
+        # Ids are assigned per scheduler (a process-global counter
+        # would make repeat runs trace different serials).
+        scheduler = TaskScheduler(sim, Msp430(sim, cal))
+        a = scheduler.post(lambda: None, 0)
+        b = scheduler.post(lambda: None, 0)
         assert b.task_id > a.task_id
+        fresh = TaskScheduler(sim, Msp430(sim, cal))
+        assert fresh.post(lambda: None, 0).task_id == a.task_id
 
 
 class TestScheduler:
