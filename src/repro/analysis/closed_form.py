@@ -30,6 +30,7 @@ from ..core.calibration import ModelCalibration
 from ..mac.messages import beacon_payload_bytes
 from ..net.scenario import BanScenarioConfig
 from ..apps.rpeak import BEAT_PAYLOAD_BYTES
+from ..sim.simtime import to_seconds
 
 
 @dataclass(frozen=True)
@@ -59,7 +60,7 @@ def beacon_window_s(config: BanScenarioConfig) -> float:
         lead_s = cal.sync.static_lead_s
         slots = config.effective_num_slots
     else:
-        cycle_s = config.cycle_ticks / 1e9
+        cycle_s = to_seconds(config.cycle_ticks)
         lead_s = cal.sync.dynamic_base_lead_s \
             + cal.sync.dynamic_drift_coeff * cycle_s
         slots = config.num_nodes
@@ -77,7 +78,7 @@ def predict(config: BanScenarioConfig) -> AnalyticEnergy:
     timing = cal.radio_timing
     costs = cal.mcu_costs
 
-    cycle_s = config.cycle_ticks / 1e9
+    cycle_s = to_seconds(config.cycle_ticks)
     cycles = config.measure_s / cycle_s
     window = beacon_window_s(config)
 

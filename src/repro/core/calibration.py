@@ -83,7 +83,7 @@ MCU_LPM_LADDER_A = {
 MCU_WAKEUP_S = 6e-6
 
 #: MSP430 core clock used in the case studies [Hz] (max speed, Section 5.1).
-MCU_CLOCK_HZ = 8_000_000
+MCU_CLOCK_HZ = 8_000_000  # unit: cyc/s
 
 #: nRF2401 receive current at 2.8 V [A] (Section 4.2).
 RADIO_RX_A = 24.82e-3
@@ -206,7 +206,7 @@ SYNC_CALIBRATION = SyncCalibration()
 # MCU activity costs (clock cycles at MCU_CLOCK_HZ)
 # ---------------------------------------------------------------------------
 
-def _us_to_cycles(us: float) -> int:
+def _us_to_cycles(us: float) -> int:  # unit: cyc
     """Convert microseconds of fitted active time to core clock cycles."""
     return round(us * MCU_CLOCK_HZ / 1e6)
 

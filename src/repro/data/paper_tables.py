@@ -156,10 +156,10 @@ FIGURE_4 = (
 #: mJ, with a energy save of 65%").
 FIGURE_4_STREAMING_TOTAL_MJ = 710.8
 FIGURE_4_RPEAK_TOTAL_MJ = 246.2
-FIGURE_4_SAVING_FRACTION = 0.65
+FIGURE_4_SAVING_FRACTION = 0.65  # unit: ratio
 
 #: Overall average estimation error the abstract/conclusion report.
-PAPER_OVERALL_ERROR = 0.04
+PAPER_OVERALL_ERROR = 0.04  # unit: ratio
 
 
 __all__ = [

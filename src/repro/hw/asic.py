@@ -14,13 +14,16 @@ analog channel outputs the MCU's ADC samples.  Channels are backed by
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
 
 from ..core.calibration import ModelCalibration
 from ..core.ledger import PowerStateLedger
 from ..core.states import PowerState, PowerStateTable
 from ..sim.kernel import Simulator
 from ..sim.simtime import to_seconds
+
+if TYPE_CHECKING:
+    from ..signals.sources import SignalSource
 
 #: Total number of analog channels (24 EEG + 1 ECG).
 NUM_CHANNELS = 25
@@ -44,10 +47,10 @@ class BiopotentialAsic:
         ])
         self.ledger = PowerStateLedger(
             sim, name, table, calibration.asic_supply_v, initial_state="on")
-        self._sources: Dict[int, object] = {}
+        self._sources: Dict[int, "SignalSource"] = {}
         self._reads = 0
 
-    def connect_source(self, channel: int, source) -> None:
+    def connect_source(self, channel: int, source: "SignalSource") -> None:
         """Back analog ``channel`` with a signal source.
 
         ``source`` must provide ``value_at(t_seconds) -> float`` (see

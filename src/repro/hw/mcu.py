@@ -17,7 +17,7 @@ paper's, it is a time-in-state model driven by the TinyOS scheduler.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..core.calibration import ModelCalibration
 from ..core.ledger import PowerStateLedger
@@ -25,6 +25,9 @@ from ..core.states import PowerState, PowerStateTable
 from ..sim.kernel import Simulator
 from ..sim.simtime import TICKS_PER_SECOND, seconds
 from ..sim.trace import TraceRecorder
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
 
 #: Name of the executing state.
 ACTIVE = "active"
@@ -143,7 +146,8 @@ class Msp430:
         """Total MCU energy so far, in millijoules."""
         return self.ledger.energy_mj()
 
-    def observe_metrics(self, registry, node: str) -> None:
+    def observe_metrics(self, registry: "MetricsRegistry",
+                        node: str) -> None:
         """Pull this MCU's figures into a metrics registry.
 
         Per-state residency and energy as state timers, plus the

@@ -39,6 +39,8 @@ from ..sim.trace import TraceRecorder
 from .frames import Frame, FrameKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
+    from ..core.report import TrafficCounters
+    from ..obs.metrics import MetricsRegistry
     from ..phy.channel import Channel, Transmission
 
 #: Radio power-state names.
@@ -175,9 +177,17 @@ class Nrf2401:
     # Receive path
     # ------------------------------------------------------------------
     def start_rx(self) -> None:
-        """Turn the receive chain on (stand-by/power-down -> RX)."""
+        """Turn the receive chain on (stand-by -> RX).
+
+        The chip cannot reach RX from power-down: the synthesizer and
+        configuration logic come up in stand-by first (``power_up()``).
+        """
         if self._tx_busy:
             raise RadioError(f"{self.name}: start_rx during transmission")
+        if self.ledger.state == POWER_DOWN:
+            raise RadioError(
+                f"{self.name}: start_rx while powered down "
+                f"(call power_up() first)")
         if self.ledger.state == RX:
             if self._rx_since is None:
                 # Re-arm during the turn-off tail: supersede the tail
@@ -233,6 +243,10 @@ class Nrf2401:
         """
         if self._tx_busy:
             raise RadioError(f"{self.name}: send while already transmitting")
+        if self.ledger.state == POWER_DOWN:
+            raise RadioError(
+                f"{self.name}: send while powered down "
+                f"(call power_up() first)")
         if frame.src != self.address:
             raise RadioError(
                 f"{self.name}: frame src {frame.src!r} != radio address "
@@ -368,7 +382,7 @@ class Nrf2401:
         """
         self.accountant.finalize(self.ledger.energy_j(state=RX))
 
-    def snapshot_counters(self):
+    def snapshot_counters(self) -> "TrafficCounters":
         """Current traffic counters as a :class:`TrafficCounters`."""
         from ..core.report import TrafficCounters
         return TrafficCounters(
@@ -384,7 +398,8 @@ class Nrf2401:
         """Total radio energy so far, in millijoules."""
         return self.ledger.energy_mj()
 
-    def observe_metrics(self, registry, node: str) -> None:
+    def observe_metrics(self, registry: "MetricsRegistry",
+                        node: str) -> None:
         """Pull this radio's figures into a metrics registry.
 
         Records per-state residency and energy (state timers) plus the

@@ -23,14 +23,37 @@ CFG001    cache-fingerprinted config dataclasses must be annotated
           and hash-stable
 ========  ==========================================================
 
+On top of the per-line rules sit three *flow-sensitive tree analyses*
+(:mod:`repro.lint.dataflow` holds the shared machinery):
+
+========  ==========================================================
+Code      Analysis
+========  ==========================================================
+UNI001-4  dimensional checking of the energy model: units are seeded
+          from identifier suffixes (``_s``, ``_ma``, ``_mj``...) and
+          ``# unit: <expr>`` annotations, then propagated through
+          assignments, arithmetic and conversion calls
+          (:mod:`repro.lint.units`)
+SM001-5   power-state machines encoded in the hardware models are
+          verified against the ``TransitionSpec`` tables declared in
+          :mod:`repro.core.states`
+          (:mod:`repro.lint.statemachine`)
+RNG001-2  RNG provenance: every constructed generator must be seeded
+          from a value that derives from a seed parameter or a
+          Simulator-owned stream (:mod:`repro.lint.rngprov`)
+SUP002    waivers whose rule no longer fires on the waived line are
+          themselves findings (stale-waiver detection)
+========  ==========================================================
+
 Run it as ``repro-ban lint src`` or ``python -m repro.lint src``.
 Findings are suppressed per line with a *reasoned* comment::
 
     except Exception as exc:  # lint: allow(EXC001): re-raised annotated
 
 A suppression without a reason does not suppress — it is itself
-reported (SUP001).  Rule configuration lives in ``pyproject.toml``
-under ``[tool.repro-lint]``; see :mod:`repro.lint.config` and
+reported (SUP001), and one whose rule has stopped firing goes stale
+(SUP002).  Rule configuration lives in ``pyproject.toml`` under
+``[tool.repro-lint]``; see :mod:`repro.lint.config` and
 ``docs/static_analysis.md`` for the catalog and the suppression
 policy.  The dynamic counterpart proving these static rules guard a
 real invariant is ``tools/determinism_check.py``.
@@ -41,9 +64,10 @@ from __future__ import annotations
 from .config import LintConfig, load_config
 from .engine import FileContext, Finding, LintReport, lint_paths, lint_source
 from .report import render_json, render_text
-from .rules import RULES, all_rule_codes
+from .rules import ANALYSIS_RULES, RULES, all_rule_codes
 
 __all__ = [
+    "ANALYSIS_RULES",
     "FileContext",
     "Finding",
     "LintConfig",

@@ -61,6 +61,17 @@ DEFAULT_CFG001_PACKAGES: Tuple[str, ...] = (
     "net", "faults", "exec",
 )
 
+#: Modules whose public float constants UNI004 requires to carry a
+#: unit suffix or ``# unit:`` annotation: the calibration tables the
+#: whole energy model is seeded from.
+DEFAULT_UNITS_CONST_MODULES: Tuple[str, ...] = (
+    "core/calibration.py", "data/paper_tables.py", "hw/",
+)
+
+#: Top-level packages the state-machine pass patrols for ledgers
+#: without a TransitionSpec and out-of-component transition calls.
+DEFAULT_SM_PACKAGES: Tuple[str, ...] = ("hw", "mac")
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -79,6 +90,11 @@ class LintConfig:
     cfg001_pattern: str = DEFAULT_CFG001_PATTERN
     #: Packages whose matching dataclasses feed the cache fingerprint.
     cfg001_packages: Tuple[str, ...] = DEFAULT_CFG001_PACKAGES
+    #: Modules (path prefixes/suffixes) UNI004 holds to the
+    #: unit-suffix-or-annotation standard for public float constants.
+    units_const_modules: Tuple[str, ...] = DEFAULT_UNITS_CONST_MODULES
+    #: Top-level packages the state-machine pass patrols.
+    sm_packages: Tuple[str, ...] = DEFAULT_SM_PACKAGES
     #: Module-path suffixes skipped entirely (fixtures, vendored code).
     exclude: Tuple[str, ...] = field(default_factory=tuple)
 
@@ -146,6 +162,16 @@ def config_from_table(table: Dict[str, Any]) -> LintConfig:
                                  "tool.repro-lint.cfg001")
     _reject_unknown(cfg001, "tool.repro-lint.cfg001")
 
+    units = dict(table.pop("units", {}))
+    units_const_modules = _str_tuple(units, "const_modules",
+                                     "tool.repro-lint.units")
+    _reject_unknown(units, "tool.repro-lint.units")
+
+    statemachine = dict(table.pop("statemachine", {}))
+    sm_packages = _str_tuple(statemachine, "packages",
+                             "tool.repro-lint.statemachine")
+    _reject_unknown(statemachine, "tool.repro-lint.statemachine")
+
     _reject_unknown(table, "tool.repro-lint")
     return LintConfig(
         select=select,
@@ -159,6 +185,11 @@ def config_from_table(table: Dict[str, Any]) -> LintConfig:
                         if cfg001_pattern is None else cfg001_pattern),
         cfg001_packages=(defaults.cfg001_packages
                          if cfg001_packages is None else cfg001_packages),
+        units_const_modules=(defaults.units_const_modules
+                             if units_const_modules is None
+                             else units_const_modules),
+        sm_packages=(defaults.sm_packages if sm_packages is None
+                     else sm_packages),
         exclude=() if exclude is None else exclude,
     )
 

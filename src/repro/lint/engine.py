@@ -32,6 +32,8 @@ _SUPPRESS_RE = re.compile(
 
 #: Reserved code for engine-level findings about suppressions.
 SUPPRESSION_RULE = "SUP001"
+#: Reserved code for waivers whose rule no longer fires on their line.
+STALE_RULE = "SUP002"
 #: Reserved code for files the parser rejects.
 PARSE_RULE = "PARSE"
 
@@ -88,6 +90,12 @@ class FileContext:
                        col=getattr(node, "col_offset", 0) + 1,
                        message=message)
 
+    def finding_at(self, rule: str, line: int, col: int,
+                   message: str) -> Finding:
+        """Build a finding at an explicit location (tree analyses)."""
+        return Finding(rule=rule, path=self.path, line=line,
+                       col=col + 1, message=message)
+
 
 @dataclass
 class LintReport:
@@ -95,6 +103,10 @@ class LintReport:
 
     findings: List[Finding] = field(default_factory=list)
     files_scanned: int = 0
+    #: Structured per-analysis payloads (e.g. the extracted state
+    #: machine graphs), keyed by analysis name; serialised into the
+    #: JSON report's ``analyses`` section.
+    extras: Dict[str, object] = field(default_factory=dict)
 
     @property
     def unsuppressed(self) -> List[Finding]:
@@ -182,35 +194,146 @@ def _module_path(path: Path, package_root_name: str = "repro") -> str:
     return parts[-1]
 
 
-def lint_source(source: str, path: str, config: Optional[LintConfig] = None,
-                module_path: Optional[str] = None) -> List[Finding]:
-    """Lint one file's text; the core single-file entry point."""
-    from .rules import RULES  # late: rules import engine types
-    config = config or LintConfig()
+def _collect_context(source: str, path: str, config: LintConfig,
+                     module_path: Optional[str] = None
+                     ) -> Tuple[Optional[FileContext], List[Finding]]:
+    """Parse one file into a context, or a PARSE finding."""
     if module_path is None:
         module_path = _module_path(Path(path))
     lines = source.splitlines()
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [Finding(rule=PARSE_RULE, path=path,
-                        line=exc.lineno or 1, col=(exc.offset or 0) + 1,
-                        message=f"file does not parse: {exc.msg}")]
+        return None, [Finding(rule=PARSE_RULE, path=path,
+                              line=exc.lineno or 1,
+                              col=(exc.offset or 0) + 1,
+                              message=f"file does not parse: "
+                                      f"{exc.msg}")]
     package = module_path.split("/")[0] if "/" in module_path else ""
-    context = FileContext(path=path, module_path=module_path,
-                          package=package, tree=tree,
-                          lines=lines, config=config)
+    return FileContext(path=path, module_path=module_path,
+                       package=package, tree=tree, lines=lines,
+                       config=config), []
+
+
+def _rule_findings(ctx: FileContext) -> List[Finding]:
+    """Run every enabled per-file rule over one context."""
+    from .rules import RULES  # late: rules import engine types
     findings: List[Finding] = []
     for code, rule in RULES.items():
-        if config.rule_enabled(code):
-            findings.extend(rule(context))
-    suppressions, errors = parse_suppressions(lines)
+        if ctx.config.rule_enabled(code):
+            findings.extend(rule(ctx))
+    return findings
+
+
+def _run_tree_analyses(contexts: Sequence[FileContext],
+                       config: LintConfig
+                       ) -> Tuple[List[Finding], Dict[str, object]]:
+    """Run the flow-sensitive analyses over the whole context set.
+
+    Unlike per-file rules, a tree analysis sees every parsed file at
+    once: the units pass learns annotations tree-wide, and the
+    state-machine pass matches specs in ``core/states.py`` against
+    classes in ``hw/``.  An analysis runs when any of its codes is
+    enabled, and its findings are filtered per code afterwards.
+    """
+    from . import rngprov, statemachine, units  # late: they import us
+    analyses: Tuple[Tuple[Tuple[str, ...], object], ...] = (
+        (units.CODES, units.analyze_units),
+        (statemachine.CODES, statemachine.analyze_statemachines),
+        (rngprov.CODES, rngprov.analyze_rng),
+    )
+    findings: List[Finding] = []
+    extras: Dict[str, object] = {}
+    for codes, run in analyses:
+        if not any(config.rule_enabled(code) for code in codes):
+            continue
+        result = run(contexts, config)  # type: ignore[operator]
+        if isinstance(result, tuple):
+            produced, extra = result
+        else:
+            produced, extra = result, None
+        findings.extend(item for item in produced
+                        if config.rule_enabled(item.rule))
+        if extra:
+            extras.update(extra)
+    return findings, extras
+
+
+def _string_spans(tree: ast.AST) -> set:
+    """Line numbers inside multi-line string constants (docstrings).
+
+    A ``# lint: allow(...)`` shown as an *example* inside a docstring
+    is text, not a waiver; stale-waiver detection must not flag it.
+    """
+    spans: set = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Constant) \
+                and isinstance(node.value, str):
+            end = node.end_lineno or node.lineno
+            if end > node.lineno:
+                spans.update(range(node.lineno, end + 1))
+    return spans
+
+
+def _known_codes() -> set:
+    from .rules import all_rule_codes
+    return set(all_rule_codes()) | {SUPPRESSION_RULE, STALE_RULE,
+                                    PARSE_RULE}
+
+
+def _finalize_file(ctx: FileContext,
+                   findings: List[Finding]) -> List[Finding]:
+    """Resolve suppressions for one file: SUP001, SUP002, waivers."""
+    suppressions, errors = parse_suppressions(ctx.lines)
     for line, message in errors:
-        findings.append(Finding(rule=SUPPRESSION_RULE, path=path,
+        findings.append(Finding(rule=SUPPRESSION_RULE, path=ctx.path,
                                 line=line, col=1, message=message))
+    if ctx.config.rule_enabled(STALE_RULE):
+        doc_lines = _string_spans(ctx.tree)
+        fired = {(item.rule, item.line) for item in findings}
+        known = _known_codes()
+        for suppression in suppressions:
+            if suppression.line in doc_lines:
+                continue
+            for code in suppression.codes:
+                if code in (SUPPRESSION_RULE, STALE_RULE):
+                    continue
+                if not ctx.config.rule_enabled(code):
+                    continue  # rule deselected: the waiver is dormant
+                if any((code, line) in fired
+                       for line in suppression.applies_to):
+                    continue
+                qualifier = ("" if code in known
+                             else " (unknown rule code)")
+                findings.append(Finding(
+                    rule=STALE_RULE, path=ctx.path,
+                    line=suppression.line, col=1,
+                    message=f"stale waiver: {code} does not fire on "
+                            f"the line this comment covers"
+                            f"{qualifier} — delete the waiver or fix "
+                            f"the code drift it hides"))
     findings = _apply_suppressions(findings, suppressions)
     findings.sort(key=Finding.sort_key)
     return findings
+
+
+def lint_source(source: str, path: str, config: Optional[LintConfig] = None,
+                module_path: Optional[str] = None) -> List[Finding]:
+    """Lint one file's text; the core single-file entry point.
+
+    Tree analyses run too, over the single-file context set — which is
+    what lets a fixture co-locate a ``TransitionSpec`` with the class
+    it describes and still be checked end to end.
+    """
+    config = config or LintConfig()
+    ctx, parse_findings = _collect_context(source, path, config,
+                                           module_path)
+    if ctx is None:
+        return parse_findings
+    findings = _rule_findings(ctx)
+    tree_findings, _ = _run_tree_analyses([ctx], config)
+    findings.extend(tree_findings)
+    return _finalize_file(ctx, findings)
 
 
 def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
@@ -226,19 +349,38 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
 
 def lint_paths(paths: Sequence[Path],
                config: Optional[LintConfig] = None) -> LintReport:
-    """Lint every Python file under ``paths`` into one report."""
+    """Lint every Python file under ``paths`` into one report.
+
+    Parses everything first, then runs per-file rules and the
+    cross-file tree analyses over the full context set, and finally
+    resolves suppressions file by file (stale-waiver detection needs
+    the complete finding list for a file, including findings a tree
+    analysis reported into it from another module's spec).
+    """
     config = config or LintConfig()
     report = LintReport()
+    contexts: List[FileContext] = []
     for file_path in iter_python_files([Path(p) for p in paths]):
         module_path = _module_path(file_path)
         if any(module_path.endswith(suffix) or file_path.match(suffix)
                for suffix in config.exclude):
             continue
         source = file_path.read_text(encoding="utf-8")
-        report.findings.extend(
-            lint_source(source, str(file_path), config,
-                        module_path=module_path))
+        ctx, parse_findings = _collect_context(
+            source, str(file_path), config, module_path=module_path)
         report.files_scanned += 1
+        if ctx is None:
+            report.findings.extend(parse_findings)
+            continue
+        contexts.append(ctx)
+    tree_findings, extras = _run_tree_analyses(contexts, config)
+    report.extras.update(extras)
+    by_path: Dict[str, List[Finding]] = {}
+    for item in tree_findings:
+        by_path.setdefault(item.path, []).append(item)
+    for ctx in contexts:
+        findings = _rule_findings(ctx) + by_path.get(ctx.path, [])
+        report.findings.extend(_finalize_file(ctx, findings))
     report.findings.sort(key=Finding.sort_key)
     return report
 
@@ -248,6 +390,7 @@ __all__ = [
     "Finding",
     "LintReport",
     "PARSE_RULE",
+    "STALE_RULE",
     "SUPPRESSION_RULE",
     "Suppression",
     "iter_python_files",

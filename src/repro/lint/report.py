@@ -4,24 +4,37 @@ The JSON document is the CI artifact (schema below); the text form is
 what developers read locally.  Suppressed findings appear in both —
 with their reasons — so waivers stay auditable instead of invisible.
 
-JSON schema (``schema_version`` 1)::
+JSON schema (``schema_version`` 2)::
 
     {
       "tool": "repro.lint",
-      "schema_version": 1,
+      "schema_version": 2,
       "ok": bool,                 # gate: no unsuppressed findings
       "files_scanned": int,
       "summary": {
         "total": int,             # unsuppressed
         "suppressed": int,
+        "stale_waivers": int,     # SUP002 findings (incl. waived)
         "by_rule": {"EXC001": int, ...}
       },
       "findings": [
         {"rule": str, "path": str, "line": int, "col": int,
          "message": str, "suppressed": bool, "reason": str|null},
         ...
-      ]
+      ],
+      "analyses": {               # tree-analysis artifacts
+        "state_machines": {       # per TransitionSpec component
+          "radio": {"module": str, "class": str, "initial": str,
+                    "states": [...], "declared": [[src, dst], ...],
+                    "encoded": [[src, dst], ...]},
+          ...
+        }
+      }
     }
+
+Version 2 added ``analyses`` (the verified state-machine graphs, so CI
+artifacts double as machine-readable documentation of each component's
+power-state topology) and ``summary.stale_waivers``.
 """
 
 from __future__ import annotations
@@ -29,9 +42,9 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, List
 
-from .engine import Finding, LintReport
+from .engine import STALE_RULE, Finding, LintReport
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 
 def finding_to_dict(finding: Finding) -> Dict[str, Any]:
@@ -57,9 +70,12 @@ def report_to_dict(report: LintReport) -> Dict[str, Any]:
         "summary": {
             "total": len(report.unsuppressed),
             "suppressed": len(report.suppressed),
+            "stale_waivers": sum(1 for f in report.findings
+                                 if f.rule == STALE_RULE),
             "by_rule": report.counts_by_rule(),
         },
         "findings": [finding_to_dict(f) for f in report.findings],
+        "analyses": report.extras,
     }
 
 

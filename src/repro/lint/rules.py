@@ -548,14 +548,104 @@ RULES: Dict[str, Rule] = {
 }
 
 
+def _no_check(context: FileContext) -> List[Finding]:
+    """Placeholder for analysis rules (they run as tree analyses)."""
+    return []
+
+
+#: Codes produced by the flow-sensitive tree analyses and the
+#: suppression machinery rather than per-file checks.  They live in
+#: the catalog so ``--list-rules``, ``--select`` and the docs cover
+#: them, but the engine never calls their (empty) check.
+ANALYSIS_RULES: Dict[str, Rule] = {
+    rule.code: rule for rule in (
+        Rule("UNI001", "no unit-mixing arithmetic",
+             "The energy model is E = I*Vdd*t: adding seconds to "
+             "joules, or J to mJ, books a number with the wrong "
+             "physical meaning.  Units are inferred from name "
+             "suffixes (_s, _a, _v, _mj, ...), conversion helpers "
+             "and '# unit:' annotations, then propagated through "
+             "assignments and arithmetic.",
+             _no_check),
+        Rule("UNI002", "return unit must match the declared unit",
+             "A function named energy_j (or annotated '# unit: j') "
+             "returning mJ poisons every caller that trusts the "
+             "name.  The declared unit is part of the signature.",
+             _no_check),
+        Rule("UNI003", "no current*current / voltage*voltage products",
+             "Power is I*Vdd.  Multiplying two currents (or two "
+             "voltages) is always a misspelling of that formula in "
+             "this codebase.",
+             _no_check),
+        Rule("UNI004", "calibration constants carry their unit",
+             "Public float constants in calibration modules seed the "
+             "whole energy model; one without a unit suffix or a "
+             "'# unit:' annotation is unauditable against the "
+             "paper's tables.",
+             _no_check),
+        Rule("SM001", "no undeclared power-state transitions",
+             "Every ledger.transition(...) the code can execute must "
+             "be a declared edge in the component's TransitionSpec "
+             "(repro/core/states.py) — and only the owning component "
+             "may drive its ledger.  The nRF2401 cannot go "
+             "POWER_DOWN -> TX; a model that can books TX current "
+             "from a state the hardware can't be in.",
+             _no_check),
+        Rule("SM002", "no declared-but-never-encoded transitions",
+             "A table row no code path implements is documentation "
+             "rot: the spec stops being the single source of truth "
+             "for what the model does.",
+             _no_check),
+        Rule("SM003", "every accounted state is reachable",
+             "A power state with a current draw in the "
+             "PowerStateTable but no entry path in the declared "
+             "graph can never be booked — its calibration data is "
+             "dead and probably misplaced.",
+             _no_check),
+        Rule("SM004", "spec and code structurally agree",
+             "The spec's state set and initial state must match the "
+             "encoded PowerStateTable and ledger initial_state, and "
+             "every transition target must be statically resolvable "
+             "— otherwise the verification is vacuous.",
+             _no_check),
+        Rule("SM005", "every ledger has a transition spec",
+             "A component that books energy through a "
+             "PowerStateLedger without declaring its TransitionSpec "
+             "is exempt from state-machine verification — exactly "
+             "where transition bugs then hide.",
+             _no_check),
+        Rule("RNG001", "no unseeded RNG construction",
+             "random.Random() / default_rng() with no argument (and "
+             "SystemRandom anywhere) seed from OS entropy: the run "
+             "can never be replayed.",
+             _no_check),
+        Rule("RNG002", "every RNG seed derives from a seed",
+             "A generator seeded from a literal, a counter or an id "
+             "replays within a run but collides across components "
+             "and bypasses the per-purpose stream split.  Seeds must "
+             "flow from a seed parameter/attribute or a "
+             "Simulator-owned stream (rng.stream(purpose)).",
+             _no_check),
+        Rule("SUP002", "no stale waivers",
+             "A '# lint: allow(CODE)' comment on a line where CODE "
+             "no longer fires documents a constraint that no longer "
+             "exists; left in place it will silently swallow the "
+             "next, unrelated finding on that line.",
+             _no_check),
+    )
+}
+
+
 def all_rule_codes() -> Tuple[str, ...]:
-    """Every registered rule code, sorted."""
-    return tuple(sorted(RULES))
+    """Every registered rule code (per-file and analysis), sorted."""
+    return tuple(sorted(set(RULES) | set(ANALYSIS_RULES)))
 
 
 def iter_rules() -> Iterable[Rule]:
-    """The registered rules in code order (for docs and --list-rules)."""
-    return tuple(RULES[code] for code in all_rule_codes())
+    """All rules in code order (for docs and --list-rules)."""
+    catalog = {**RULES, **ANALYSIS_RULES}
+    return tuple(catalog[code] for code in all_rule_codes())
 
 
-__all__ = ["RULES", "Rule", "all_rule_codes", "dotted_name", "iter_rules"]
+__all__ = ["ANALYSIS_RULES", "RULES", "Rule", "all_rule_codes",
+           "dotted_name", "iter_rules"]

@@ -26,7 +26,7 @@ everything except the bare TX events.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from ..core.calibration import ModelCalibration
 from ..hw.frames import Frame, FrameKind
@@ -38,6 +38,9 @@ from ..tinyos.components import Component
 from ..tinyos.scheduler import TaskScheduler
 from .base import AppPayload, MacCounters
 from .messages import make_data
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -127,7 +130,8 @@ class AlohaNodeMac(Component):
     def _tx_done(self, outcome: TxOutcome) -> None:
         self.counters.data_sent += 1
 
-    def observe_metrics(self, registry, node: str) -> None:
+    def observe_metrics(self, registry: "MetricsRegistry",
+                        node: str) -> None:
         """Pull the node's MAC counters and poll period.
 
         ALOHA has no beacons or slots, so only the shared counters and
@@ -165,7 +169,8 @@ class AlohaBaseMac(Component):
         """Alignment period for the scenario runner (poll interval)."""
         return self.config.poll_interval_ticks
 
-    def observe_metrics(self, registry, node: str) -> None:
+    def observe_metrics(self, registry: "MetricsRegistry",
+                        node: str) -> None:
         """Pull the collector's MAC counters (no schedule to report)."""
         self.counters.observe_metrics(registry, node)
 

@@ -36,7 +36,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Tuple
 
 from ..core.calibration import ModelCalibration
 from ..hw.frames import Frame, FrameKind
@@ -51,6 +51,9 @@ from .messages import BeaconPayload, SlotRequestPayload, make_beacon, \
 from .recovery import RecoveryConfig
 from .slots import SlotSchedule
 from .sync import SyncPolicy
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
 
 #: A payload the application hands to the MAC: (on-air bytes, content).
 AppPayload = Tuple[int, object]
@@ -96,7 +99,8 @@ class MacCounters:
         return {field: getattr(self, field)
                 for field in self.__dataclass_fields__}
 
-    def observe_metrics(self, registry, node: str) -> None:
+    def observe_metrics(self, registry: "MetricsRegistry",
+                        node: str) -> None:
         """Pull every counter into ``registry`` under ``mac/<node>/``."""
         for name, value in self.as_dict().items():
             registry.counter("mac", node, name).inc(value)
@@ -277,7 +281,8 @@ class NodeMac(Component):
         """Whether the node owns a slot and tracks the beacon schedule."""
         return self.state is NodeState.SYNCED
 
-    def observe_metrics(self, registry, node: str) -> None:
+    def observe_metrics(self, registry: "MetricsRegistry",
+                        node: str) -> None:
         """Pull this MAC's protocol counters and sync figures.
 
         Counters cover the per-cause events the WBAN MAC surveys
@@ -658,7 +663,8 @@ class BaseStationMac(Component):
         """Public view of the cycle length currently in effect."""
         return self._current_cycle_ticks()
 
-    def observe_metrics(self, registry, node: str) -> None:
+    def observe_metrics(self, registry: "MetricsRegistry",
+                        node: str) -> None:
         """Pull the base station's counters and schedule occupancy.
 
         Slot occupancy (assigned / capacity) is the utilisation figure

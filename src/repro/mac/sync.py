@@ -20,7 +20,12 @@ paper's tables), so it is a first-class, swappable policy:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..sim.simtime import microseconds, seconds
+
+if TYPE_CHECKING:
+    from ..core.calibration import ModelCalibration
 
 
 class SyncPolicy:
@@ -90,12 +95,13 @@ class DriftTrackingLead(SyncPolicy):
         return self._margin + drift
 
 
-def paper_static_policy(calibration) -> FixedLead:
+def paper_static_policy(calibration: "ModelCalibration") -> FixedLead:
     """The calibrated static-TDMA policy from a ModelCalibration."""
     return FixedLead(seconds(calibration.sync.static_lead_s))
 
 
-def paper_dynamic_policy(calibration) -> CycleProportionalLead:
+def paper_dynamic_policy(
+        calibration: "ModelCalibration") -> CycleProportionalLead:
     """The calibrated dynamic-TDMA policy from a ModelCalibration."""
     return CycleProportionalLead(
         seconds(calibration.sync.dynamic_base_lead_s),

@@ -13,7 +13,7 @@ assignment and the new cycle length in the next beacon.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..core.calibration import ModelCalibration
 from ..hw.radio import Nrf2401
@@ -26,6 +26,10 @@ from .messages import BeaconPayload, SlotRequestPayload
 from .recovery import RecoveryConfig
 from .slots import SlotSchedule, dynamic_cycle_ticks, dynamic_slot_offset
 from .sync import SyncPolicy, paper_dynamic_policy
+
+if TYPE_CHECKING:
+    from ..hw.frames import Frame
+    from ..obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -157,7 +161,8 @@ class DynamicTdmaBaseMac(BaseStationMac):
         return dynamic_cycle_ticks(self.config.slot_ticks,
                                    self.schedule.num_slots)
 
-    def observe_metrics(self, registry, node: str) -> None:
+    def observe_metrics(self, registry: "MetricsRegistry",
+                        node: str) -> None:
         """Pull the base-station figures plus dynamic-TDMA specifics.
 
         Adds the configured slot length, the *current* (grown) cycle
@@ -189,7 +194,7 @@ class DynamicTdmaBaseMac(BaseStationMac):
     # ------------------------------------------------------------------
     # Node-leave handling (extension; see DynamicTdmaConfig)
     # ------------------------------------------------------------------
-    def _frame_activity(self, frame) -> None:
+    def _frame_activity(self, frame: "Frame") -> None:
         self._last_heard[frame.src] = self._sim.now
 
     def _before_beacon(self) -> None:

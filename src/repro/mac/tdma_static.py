@@ -12,7 +12,7 @@ network is full and further requests are ignored.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..core.calibration import ModelCalibration
 from ..hw.radio import Nrf2401
@@ -25,6 +25,9 @@ from .messages import BeaconPayload, SlotRequestPayload
 from .recovery import RecoveryConfig
 from .slots import SlotSchedule, static_slot_offset
 from .sync import SyncPolicy, paper_static_policy
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -82,7 +85,8 @@ class StaticTdmaNodeMac(NodeMac):
     def _initial_cycle_ticks(self) -> int:
         return self.config.cycle_ticks
 
-    def observe_metrics(self, registry, node: str) -> None:
+    def observe_metrics(self, registry: "MetricsRegistry",
+                        node: str) -> None:
         """Pull the base MAC figures plus the fixed cycle length."""
         super().observe_metrics(registry, node)
         registry.gauge("mac", node, "cycle_ticks").set(
@@ -128,7 +132,8 @@ class StaticTdmaBaseMac(BaseStationMac):
     def _current_cycle_ticks(self) -> int:
         return self.config.cycle_ticks
 
-    def observe_metrics(self, registry, node: str) -> None:
+    def observe_metrics(self, registry: "MetricsRegistry",
+                        node: str) -> None:
         """Pull the base-station figures plus the fixed cycle length."""
         super().observe_metrics(registry, node)
         registry.gauge("mac", node, "cycle_ticks").set(

@@ -18,13 +18,13 @@ back.  Converting *to* ticks rounds to the nearest nanosecond; converting
 from __future__ import annotations
 
 #: Number of simulation ticks per second (tick = 1 ns).
-TICKS_PER_SECOND = 1_000_000_000
+TICKS_PER_SECOND = 1_000_000_000  # unit: tick/s
 
 #: Number of simulation ticks per millisecond.
-TICKS_PER_MS = TICKS_PER_SECOND // 1_000
+TICKS_PER_MS = TICKS_PER_SECOND // 1_000  # unit: tick/ms
 
 #: Number of simulation ticks per microsecond.
-TICKS_PER_US = TICKS_PER_SECOND // 1_000_000
+TICKS_PER_US = TICKS_PER_SECOND // 1_000_000  # unit: tick/us
 
 
 def seconds(value: float) -> int:
@@ -75,11 +75,11 @@ def format_time(ticks: int) -> str:
     if ticks == 0:
         return "0 s"
     magnitude = abs(ticks)
-    if magnitude >= TICKS_PER_SECOND:
+    if magnitude >= seconds(1):
         return f"{ticks / TICKS_PER_SECOND:.3f} s"
-    if magnitude >= TICKS_PER_MS:
+    if magnitude >= milliseconds(1):
         return f"{ticks / TICKS_PER_MS:.3f} ms"
-    if magnitude >= TICKS_PER_US:
+    if magnitude >= microseconds(1):
         return f"{ticks / TICKS_PER_US:.3f} us"
     return f"{ticks} ns"
 

@@ -1,0 +1,54 @@
+"""Seeded-bug fixture: a power-state machine that violates its spec.
+
+The declared machine is off -> idle -> tx -> idle -> off.  The code
+additionally jumps off -> tx directly (SM001), never encodes the
+declared idle -> off edge (SM002), and books energy for a ``ghost``
+state no transition can reach (SM003).
+"""
+
+from repro.core.ledger import PowerStateLedger
+from repro.core.states import PowerState, PowerStateTable, TransitionSpec
+from repro.sim.kernel import Simulator
+
+FIXTURE_TRANSITIONS = TransitionSpec(
+    component="heater",
+    module="hw/illegal_transition.py",
+    class_name="Heater",
+    initial="off",
+    states=("off", "idle", "tx", "ghost"),
+    transitions=(
+        ("off", "idle"),
+        ("idle", "tx"),
+        ("tx", "idle"),
+        ("idle", "off"),
+    ),
+)
+
+
+class Heater:
+    """Minimal component with a spec-declared power-state machine."""
+
+    def __init__(self, sim: Simulator) -> None:
+        table = PowerStateTable([
+            PowerState("off", 0.0),
+            PowerState("idle", 0.001),
+            PowerState("tx", 0.010),
+            PowerState("ghost", 1.0),
+        ])
+        self.ledger = PowerStateLedger(sim, "heater", table, 3.0,
+                                       initial_state="off")
+
+    def warm_up(self) -> None:
+        if self.ledger.state == "off":
+            self.ledger.transition("idle")
+
+    def burst(self) -> None:
+        if self.ledger.state == "idle":
+            self.ledger.transition("tx")
+        elif self.ledger.state == "off":
+            # BUG(SM001): jumps straight from off to tx.
+            self.ledger.transition("tx")
+
+    def cool(self) -> None:
+        if self.ledger.state == "tx":
+            self.ledger.transition("idle")

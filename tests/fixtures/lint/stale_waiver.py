@@ -1,0 +1,11 @@
+"""Seeded-bug fixture: a reasoned waiver whose rule no longer fires.
+
+The FLT001 waiver below once guarded a float equality that has since
+been rewritten as a guarded division; the comment survived the
+refactor.  SUP002 must flag it as stale.
+"""
+
+
+def mean_energy_j(total_j: float, count: int) -> float:
+    # BUG(SUP002): stale waiver -- nothing float-compares here anymore.
+    return total_j / max(count, 1)  # lint: allow(FLT001): zero sentinel

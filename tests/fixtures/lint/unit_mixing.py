@@ -1,0 +1,32 @@
+"""Seeded-bug fixture: dimensional errors in an energy summary.
+
+Every bug here is a real shape from energy-model code: adding
+millijoules to joules, summing a current into an energy total,
+squaring a current where ``I * V`` was meant, and returning seconds
+from a function whose contract is joules.  The units analysis must
+flag all four (see ``tests/test_lint_units.py``).
+"""
+
+#: Radio supply voltage.
+SUPPLY_V = 2.8
+
+#: Mains reference used by the comparison table -- no suffix and no
+#: annotation, so UNI004 must flag it.
+REFERENCE_BUDGET = 710.8
+
+
+def total_energy_j(radio_j: float, mcu_energy_mj: float) -> float:
+    # BUG(UNI001): adds millijoules into a joule total.
+    return radio_j + mcu_energy_mj
+
+
+def drained_charge(sleep_s: float, sleep_ma: float,
+                   leak_ma: float) -> float:
+    # BUG(UNI003): current * current -- the supply voltage was meant.
+    power = sleep_ma * leak_ma
+    return power * sleep_s
+
+
+def report_energy_j(active_s: float) -> float:
+    # BUG(UNI002): declared (by suffix) to return joules, returns time.
+    return active_s

@@ -8,7 +8,7 @@ import pytest
 from conftest import quick_config, run_quick
 from repro.core.calibration import DEFAULT_CALIBRATION
 from repro.hw.frames import Frame, FrameKind
-from repro.hw.radio import Nrf2401
+from repro.hw.radio import Nrf2401, RadioError
 from repro.mac.messages import beacon_payload_bytes
 from repro.mac.tdma_static import StaticTdmaConfig
 from repro.net.scenario import BanScenario, BanScenarioConfig
@@ -52,14 +52,18 @@ class TestKernelEdges:
 
 
 class TestRadioEdges:
-    def test_send_from_power_down_goes_through_tx(self, sim, cal):
+    def test_send_from_power_down_is_rejected(self, sim, cal):
         channel = Channel(sim)
         a = Nrf2401(sim, cal, channel, "a")
         Nrf2401(sim, cal, channel, "b")
-        # No explicit power_up: send() transitions directly (the model
-        # folds the startup into the settle time).
-        a.send(Frame(src="a", dest="b", kind=FrameKind.DATA,
-                     payload_bytes=4))
+        # RADIO_TRANSITIONS declares no power_down -> tx edge: the
+        # radio must be powered up before transmitting.
+        frame = Frame(src="a", dest="b", kind=FrameKind.DATA,
+                      payload_bytes=4)
+        with pytest.raises(RadioError, match="powered down"):
+            a.send(frame)
+        a.power_up()
+        a.send(frame)
         sim.run_until(seconds(0.1))
         assert a.state == "standby"
         assert a.snapshot_counters().data_tx == 1
@@ -67,6 +71,7 @@ class TestRadioEdges:
     def test_power_down_after_rx(self, sim, cal):
         channel = Channel(sim)
         a = Nrf2401(sim, cal, channel, "a")
+        a.power_up()
         a.start_rx()
         sim.at(seconds(0.01), a.stop_rx)
         sim.at(seconds(0.02), a.power_down)
@@ -77,6 +82,8 @@ class TestRadioEdges:
         channel = Channel(sim)
         a = Nrf2401(sim, cal, channel, "a")
         b = Nrf2401(sim, cal, channel, "b")
+        a.power_up()
+        b.power_up()
         received = []
         b.on_frame = received.append
         b.start_rx()
@@ -93,6 +100,8 @@ class TestRadioEdges:
         radios = [Nrf2401(sim, cal, channel, name)
                   for name in ("a", "b", "c")]
         sink = Nrf2401(sim, cal, channel, "sink")
+        for radio in radios + [sink]:
+            radio.power_up()
         received = []
         sink.on_frame = received.append
         sink.start_rx()

@@ -17,6 +17,7 @@ import sys
 import pytest
 
 from repro.lint import (
+    ANALYSIS_RULES,
     LintConfig,
     RULES,
     all_rule_codes,
@@ -65,13 +66,16 @@ class TestDet001GlobalRng:
         assert rules_fired(source) == ["DET001"]
 
     def test_seeded_instances_are_legal(self):
+        # Seed-derived construction: legal under DET001 *and* the RNG
+        # provenance pass (literal seeds are RNG002's business).
         source = (
             "import random\n"
             "import numpy as np\n"
-            "r = random.Random(7)\n"
-            "x = r.random()\n"
-            "g = np.random.default_rng(3)\n"
-            "y = g.normal()\n"
+            "def make(seed):\n"
+            "    r = random.Random(seed)\n"
+            "    x = r.random()\n"
+            "    g = np.random.default_rng(seed + 1)\n"
+            "    return r, g, x\n"
             "from random import Random\n")
         assert rules_fired(source) == []
 
@@ -267,16 +271,21 @@ class TestSuppressions:
         assert rules == ["EXC001", "SUP001"]
 
     def test_wrong_code_does_not_suppress(self):
+        # The EXC001 finding survives, and the DET001 waiver — wrong
+        # rule, so it guards nothing — is itself reported stale.
         source = self.SOURCE.format(
             comment="  # lint: allow(DET001): not the right rule")
-        assert rules_fired(source) == ["EXC001"]
+        assert sorted(rules_fired(source)) == ["EXC001", "SUP002"]
 
     def test_multi_code_waiver(self):
         source = ("import time\n"
                   "t = time.time()  "
                   "# lint: allow(DET002, FLT001): bench-only path\n")
         findings = lint_source(source, "<fixture>", LintConfig())
-        assert [f.suppressed for f in findings] == [True]
+        # DET002 is suppressed; the FLT001 half of the waiver is stale
+        # (nothing float-compares on that line) and reported as such.
+        assert sorted((f.rule, f.suppressed) for f in findings) \
+            == [("DET002", True), ("SUP002", False)]
 
     def test_parse_suppressions_reports_positions(self):
         suppressions, errors = parse_suppressions([
@@ -358,10 +367,14 @@ class TestConfiguration:
         assert "sim" in config.det003_packages
 
     def test_rule_registry_complete(self):
-        assert all_rule_codes() == ("CFG001", "DET001", "DET002",
-                                    "DET003", "EXC001", "FLT001",
-                                    "MUT001")
+        assert all_rule_codes() == (
+            "CFG001", "DET001", "DET002", "DET003", "EXC001", "FLT001",
+            "MUT001", "RNG001", "RNG002", "SM001", "SM002", "SM003",
+            "SM004", "SM005", "SUP002", "UNI001", "UNI002", "UNI003",
+            "UNI004")
         for rule in RULES.values():
+            assert rule.title and rule.rationale
+        for rule in ANALYSIS_RULES.values():
             assert rule.title and rule.rationale
 
 

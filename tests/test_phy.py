@@ -123,6 +123,7 @@ class TestChannel:
         channel = Channel(sim)
         a = Nrf2401(sim, cal, channel, "a")
         Nrf2401(sim, cal, channel, "b")
+        a.power_up()
         a.send(Frame(src="a", dest="b", kind=FrameKind.DATA,
                      payload_bytes=4))
         sim.run_until(seconds(0.1))
@@ -133,6 +134,8 @@ class TestChannel:
         a = Nrf2401(sim, cal, channel, "a")
         b = Nrf2401(sim, cal, channel, "b")
         c = Nrf2401(sim, cal, channel, "c")
+        for radio in (a, b, c):
+            radio.power_up()
         got_b, got_c = [], []
         b.on_frame = got_b.append
         c.on_frame = got_c.append
@@ -154,6 +157,8 @@ class TestChannel:
         channel = Channel(sim, loss_model=PerLinkLoss({("a", "b"): 1.0}))
         a = Nrf2401(sim, cal, channel, "a")
         b = Nrf2401(sim, cal, channel, "b")
+        a.power_up()
+        b.power_up()
         received = []
         b.on_frame = received.append
         b.start_rx()

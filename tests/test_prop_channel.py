@@ -59,9 +59,11 @@ class TestChannelDeliveryOracle:
         sink = Nrf2401(sim, CAL, channel, "sink")
         received = []
         sink.on_frame = lambda frame: received.append(frame.payload)
+        sink.power_up()
         sink.start_rx()
         for index, start in enumerate(schedule):
             sender = Nrf2401(sim, CAL, channel, f"s{index}")
+            sender.power_up()
             frame = Frame(src=f"s{index}", dest="sink",
                           kind=FrameKind.DATA, payload_bytes=4,
                           payload=index)
@@ -78,9 +80,11 @@ class TestChannelDeliveryOracle:
         sim = Simulator()
         channel = Channel(sim)
         sink = Nrf2401(sim, CAL, channel, "sink")
+        sink.power_up()
         sink.start_rx()
         for index, start in enumerate(schedule):
             sender = Nrf2401(sim, CAL, channel, f"s{index}")
+            sender.power_up()
             frame = Frame(src=f"s{index}", dest="sink",
                           kind=FrameKind.DATA, payload_bytes=4)
             sim.at(start, lambda s=sender, f=frame: s.send(f))
@@ -98,9 +102,11 @@ class TestChannelDeliveryOracle:
         sink = Nrf2401(sim, CAL, channel, "sink")
         received = []
         sink.on_frame = received.append
+        sink.power_up()
         sink.start_rx()
         for index, start in enumerate(schedule):
             sender = Nrf2401(sim, CAL, channel, f"s{index}")
+            sender.power_up()
             sender.rf_channel = 40  # sink stays on channel 0
             frame = Frame(src=f"s{index}", dest="sink",
                           kind=FrameKind.DATA, payload_bytes=4)

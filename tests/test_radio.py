@@ -16,6 +16,8 @@ def pair(sim, cal):
     channel = Channel(sim)
     a = Nrf2401(sim, cal, channel, "a", name="a.radio")
     b = Nrf2401(sim, cal, channel, "b", name="b.radio")
+    a.power_up()
+    b.power_up()
     return channel, a, b
 
 
@@ -145,6 +147,8 @@ class TestAddressFilter:
         a = Nrf2401(sim, cal, channel, "a")
         b = Nrf2401(sim, cal, channel, "b")
         c = Nrf2401(sim, cal, channel, "c")
+        a.power_up()
+        c.power_up()
         received = []
         c.on_frame = received.append
         c.start_rx()
@@ -162,6 +166,8 @@ class TestAddressFilter:
         a = Nrf2401(sim, cal, channel, "a")
         Nrf2401(sim, cal, channel, "b")
         c = Nrf2401(sim, cal, channel, "c")
+        a.power_up()
+        c.power_up()
         c.address_filter_enabled = False
         received = []
         c.on_frame = received.append
@@ -188,6 +194,8 @@ class TestCollisions:
         a = Nrf2401(sim, cal, channel, "a")
         b = Nrf2401(sim, cal, channel, "b")
         c = Nrf2401(sim, cal, channel, "c")
+        for radio in (a, b, c):
+            radio.power_up()
         return channel, a, b, c
 
     def test_overlapping_frames_corrupt_each_other(self, sim, cal):

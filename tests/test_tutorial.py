@@ -30,6 +30,8 @@ class TestTutorialSnippets:
         rx = Nrf2401(sim, DEFAULT_CALIBRATION, channel, "rx")
         got = []
         rx.on_frame = got.append
+        tx.power_up()
+        rx.power_up()
         rx.start_rx()
         tx.send(Frame(src="tx", dest="rx", kind=FrameKind.DATA,
                       payload_bytes=18))
