@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Where does the wall time of a BAN simulation go?
+
+Runs the dense streaming scenario (the ``ban_simulation_rate_5s``
+workload of ``run_bench.py``) with a
+:class:`~repro.obs.profiler.SimulationProfiler` attached and prints the
+ranked per-label host-time table — the measurement that drives (and
+re-validates) the model-layer fast-path work.  Attaching the profiler
+never changes event order or energies, so the profiled run is the same
+simulation the benchmark times.
+
+Usage (from the repository root)::
+
+    PYTHONPATH=src python benchmarks/bench_profile.py
+    PYTHONPATH=src python benchmarks/bench_profile.py --json profile.json
+    PYTHONPATH=src python benchmarks/bench_profile.py --mac dynamic \\
+        --nodes 3 --measure-s 2 --limit 15
+
+The text table ranks normalised labels (``node*.mac.slot``) by
+cumulative host seconds; the JSON document carries the same rows plus
+the run's headline figures, for diffing across commits.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import Dict
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+from repro.net.scenario import BanScenario, BanScenarioConfig  # noqa: E402
+from repro.obs.profiler import SimulationProfiler  # noqa: E402
+
+
+def profile_scenario(config: BanScenarioConfig) -> SimulationProfiler:
+    """Build and run one scenario with a profiler attached."""
+    scenario = BanScenario(config)
+    profiler = SimulationProfiler()
+    scenario.sim.profiler = profiler
+    scenario.run()
+    return profiler
+
+
+def profile_document(profiler: SimulationProfiler,
+                     config: BanScenarioConfig,
+                     limit: int) -> Dict:
+    """The profile as a plain-JSON document (ranked rows + headline)."""
+    return {
+        "scenario": {
+            "mac": config.mac,
+            "app": config.app,
+            "num_nodes": config.num_nodes,
+            "cycle_ms": config.cycle_ms,
+            "sampling_hz": config.sampling_hz,
+            "measure_s": config.measure_s,
+        },
+        "wall_s": round(profiler.wall_s, 6),
+        "sim_s": round(profiler.sim_s, 6),
+        "sim_rate": round(profiler.sim_rate, 2),
+        "events": profiler.events,
+        "attributed_fraction": round(profiler.attributed_fraction, 4),
+        "rows": [
+            {"label": label,
+             "calls": int(count),
+             "wall_s": round(seconds, 6),
+             "share": round(seconds / profiler.wall_s, 4)
+             if profiler.wall_s > 0 else 0.0}
+            for label, seconds, count in profiler.top(limit)
+        ],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--mac", default="static",
+                        help="MAC protocol (default: static)")
+    parser.add_argument("--app", default="ecg_streaming",
+                        help="application (default: ecg_streaming)")
+    parser.add_argument("--nodes", type=int, default=5,
+                        help="node count (default: 5)")
+    parser.add_argument("--cycle-ms", type=float, default=30.0,
+                        help="TDMA cycle in ms (default: 30)")
+    parser.add_argument("--sampling-hz", type=float, default=205.0,
+                        help="per-channel sampling rate (default: 205)")
+    parser.add_argument("--measure-s", type=float, default=5.0,
+                        help="measured window in sim seconds (default: 5)")
+    parser.add_argument("--limit", type=int, default=25,
+                        help="rows in the ranked table (default: 25)")
+    parser.add_argument("--json", metavar="PATH",
+                        help="also write the profile as JSON to PATH "
+                             "('-' for stdout instead of the text table)")
+    args = parser.parse_args(argv)
+
+    config = BanScenarioConfig(mac=args.mac, app=args.app,
+                               num_nodes=args.nodes,
+                               cycle_ms=args.cycle_ms,
+                               sampling_hz=args.sampling_hz,
+                               measure_s=args.measure_s)
+    profiler = profile_scenario(config)
+    document = profile_document(profiler, config, args.limit)
+    if args.json == "-":
+        print(json.dumps(document, indent=2))
+        return 0
+    print(profiler.render_table(args.limit))
+    if args.json:
+        path = pathlib.Path(args.json)
+        path.write_text(json.dumps(document, indent=2) + "\n")
+        print(f"profile written to {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

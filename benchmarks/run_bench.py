@@ -14,6 +14,13 @@ Usage (from the repository root)::
 
 ``--full`` adds the (slower) whole-BAN simulation-rate workload on top
 of the kernel event-throughput microbenchmark.
+
+``--check-floor`` (implies ``--full``) turns the run into a perf gate:
+it fails (exit 1) if the measured ``ban_simulation_rate_5s`` throughput
+drops below the committed ``seed`` baseline scaled by
+``--floor-fraction``.  CI passes a fraction < 1 because hosted runners
+are slower and noisier than the reference container; locally, use the
+default 1.0 to assert "no regression against seed".
 """
 
 from __future__ import annotations
@@ -121,6 +128,23 @@ def measure(workload: Callable[[], int], repeats: int) -> Dict[str, float]:
     }
 
 
+def seed_baseline(benchmark: str) -> float:
+    """The committed ``seed``-labelled events/s for ``benchmark``.
+
+    Raises SystemExit if the history has no such record — a perf gate
+    with no baseline should fail loudly, not silently pass.
+    """
+    history: List[Dict] = []
+    if RESULTS_PATH.exists():
+        history = json.loads(RESULTS_PATH.read_text())
+    rates = [r["events_per_s"] for r in history
+             if r.get("benchmark") == benchmark and r.get("label") == "seed"]
+    if not rates:
+        raise SystemExit(
+            f"no 'seed' record for {benchmark} in {RESULTS_PATH}")
+    return max(rates)
+
+
 def append_record(record: Dict) -> None:
     """Append ``record`` to the committed JSON history (a list)."""
     history: List[Dict] = []
@@ -144,17 +168,30 @@ def main(argv=None) -> int:
     parser.add_argument("--dry-run", action="store_true",
                         help="print records without touching "
                              "BENCH_kernel.json")
+    parser.add_argument("--check-floor", action="store_true",
+                        help="fail if ban_simulation_rate_5s falls below "
+                             "the committed seed baseline scaled by "
+                             "--floor-fraction (implies --full)")
+    parser.add_argument("--floor-fraction", type=float, default=1.0,
+                        help="fraction of the seed baseline that is "
+                             "still a pass (default 1.0; CI uses less "
+                             "to absorb hosted-runner variance)")
     args = parser.parse_args(argv)
+    if not 0.0 < args.floor_fraction <= 1.0:
+        parser.error(f"--floor-fraction must be in (0, 1]:"
+                     f" {args.floor_fraction}")
 
     workloads = [("kernel_event_throughput", kernel_event_throughput),
                  ("kernel_metrics_overhead", kernel_metrics_overhead)]
-    if args.full:
+    if args.full or args.check_floor:
         workloads.append(("ban_simulation_rate_5s", ban_simulation_rate))
 
     rev = _git_rev()
     stamp = time.strftime("%Y-%m-%dT%H:%M:%S", time.gmtime())
+    measured: Dict[str, float] = {}
     for name, workload in workloads:
         stats = measure(workload, args.repeats)
+        measured[name] = stats["events_per_s"]
         record = {"benchmark": name, "timestamp_utc": stamp,
                   "git_rev": rev, "label": args.label,
                   "python": sys.version.split()[0], **stats}
@@ -163,6 +200,15 @@ def main(argv=None) -> int:
             append_record(record)
     if not args.dry_run:
         print(f"appended to {RESULTS_PATH}")
+    if args.check_floor:
+        baseline = seed_baseline("ban_simulation_rate_5s")
+        floor = baseline * args.floor_fraction
+        rate = measured["ban_simulation_rate_5s"]
+        verdict = "ok" if rate >= floor else "FAIL"
+        print(f"floor check: {rate:,.1f} ev/s vs floor {floor:,.1f} "
+              f"({args.floor_fraction:g} x seed {baseline:,.1f}): {verdict}")
+        if rate < floor:
+            return 1
     return 0
 
 

@@ -65,6 +65,12 @@ class SamplingApplication(Component):
         self._timer = VirtualTimer(sim, self._sample_tick,
                                    name=f"{name}.sample_timer")
         self._samples_taken = 0
+        self._label_sample = f"{name}.sample"
+        # Per-tick task cost: channel count and calibration are fixed, so
+        # the timer handler books a precomputed constant.
+        self._tick_cost = len(self.channels) * (
+            calibration.mcu_costs.sample_acquisition
+            + self.extra_cycles_per_channel())
         mac.payload_provider = self.next_payload
 
     # ------------------------------------------------------------------
@@ -110,14 +116,13 @@ class SamplingApplication(Component):
     # Sampling machinery
     # ------------------------------------------------------------------
     def _sample_tick(self) -> None:
-        cost = len(self.channels) * (self._cal.mcu_costs.sample_acquisition
-                                     + self.extra_cycles_per_channel())
-        self._scheduler.post(self._acquire, cost,
-                             label=f"{self.name}.sample")
+        self._scheduler.post(self._acquire, self._tick_cost,
+                             label=self._label_sample)
 
     def _acquire(self) -> None:
-        codes = tuple(self._adc.convert(self._asic.read_channel(c))
-                      for c in self.channels)
+        read_channel = self._asic.read_channel
+        convert = self._adc.convert
+        codes = tuple([convert(read_channel(c)) for c in self.channels])
         self._samples_taken += 1
         self.handle_samples(codes)
 

@@ -10,11 +10,30 @@ for example, distinguishes RX time spent idle-listening from RX time spent
 receiving a packet by re-tagging the open interval when a packet starts.
 The per-state totals are always the sum over tags, which the test suite
 checks as an invariant.
+
+Fast path
+---------
+
+``transition`` is called once or more per dispatched event (every MCU
+wake/task/sleep and every radio mode change), so it is written for the
+kernel's throughput rather than for symmetry with the query side:
+
+* time ticks accumulate in a plain ``dict`` of ints (no defaultdict
+  factory call per booking);
+* per-state currents and ``I * Vdd`` energy coefficients are
+  precomputed at construction, so queries never chase
+  ``table[s].current_a`` attribute chains (the products are formed once
+  with the same left-associated expression the queries used, keeping
+  every reported float bit-identical);
+* a transition to the *same* ``(state, tag)`` — the dominant case for
+  back-to-back task dispatches re-tagging ``active/task`` — leaves the
+  open interval open instead of splitting it.  The split and unsplit
+  bookings sum the same integer tick count, so every query is exact;
+  the transition counter and the observer still see the call.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
 from typing import Dict, Optional, Tuple
 
 from ..sim.kernel import Simulator
@@ -33,6 +52,10 @@ class PowerStateLedger:
         initial_state: state the component starts in at t=0.
     """
 
+    __slots__ = ("_sim", "component", "table", "supply_v", "_state",
+                 "_tag", "_entered", "_ticks", "_transitions", "_closed",
+                 "on_transition", "_current_a", "_iv_coeff")
+
     def __init__(self, sim: Simulator, component: str,
                  table: PowerStateTable, supply_v: float,
                  initial_state: str) -> None:
@@ -42,10 +65,17 @@ class PowerStateLedger:
         self.component = component
         self.table = table
         self.supply_v = supply_v
+        # Per-state current and I*Vdd coefficient, precomputed once.  The
+        # coefficient is formed exactly as the queries formed it
+        # (current * supply, then * time), so energies are bit-identical.
+        self._current_a: Dict[str, float] = {
+            state.name: state.current_a for state in table}
+        self._iv_coeff: Dict[str, float] = {  # unit: W
+            state.name: state.current_a * supply_v for state in table}
         self._state = table[initial_state].name
         self._tag = self._state
         self._entered = sim.now
-        self._ticks: Dict[Tuple[str, str], int] = defaultdict(int)
+        self._ticks: Dict[Tuple[str, str], int] = {}
         self._transitions = 0
         self._closed = False
         #: Optional observer called as ``(time, state, tag)`` after every
@@ -78,15 +108,35 @@ class PowerStateLedger:
         state with a different tag is the supported way to re-attribute
         time from the current instant onward.
         """
-        new_state = self.table[state].name  # validates the name
-        self._book_open_interval()
-        self._state = new_state
-        self._tag = tag if tag is not None else new_state
-        self._entered = self._sim.now
+        if state not in self._current_a:
+            self.table[state]  # raises the canonical unknown-state error
+        if tag is None:
+            tag = state
+        now = self._sim._now  # hot path: skip the property (see kernel)
+        current_state = self._state
+        if state == current_state and tag == self._tag:
+            # Same (state, tag): keep the interval open.  Splitting it
+            # here and summing later books the same integer tick count,
+            # so every query result is unchanged.
+            self._transitions += 1
+            self._closed = False
+            observer = self.on_transition
+            if observer is not None:
+                observer(now, current_state, tag)
+            return
+        elapsed = now - self._entered
+        if elapsed > 0:
+            key = (current_state, self._tag)
+            ticks = self._ticks
+            ticks[key] = ticks.get(key, 0) + elapsed
+        self._state = state
+        self._tag = tag
+        self._entered = now
         self._transitions += 1
         self._closed = False
-        if self.on_transition is not None:
-            self.on_transition(self._sim.now, self._state, self._tag)
+        observer = self.on_transition
+        if observer is not None:
+            observer(now, state, tag)
 
     def retag(self, tag: str) -> None:
         """Re-tag the open interval from now on, staying in the same state."""
@@ -118,7 +168,9 @@ class PowerStateLedger:
     def _book_open_interval(self) -> None:
         elapsed = self._sim.now - self._entered
         if elapsed > 0:
-            self._ticks[(self._state, self._tag)] += elapsed
+            key = (self._state, self._tag)
+            ticks = self._ticks
+            ticks[key] = ticks.get(key, 0) + elapsed
 
     # ------------------------------------------------------------------
     # Queries (all implicitly include the open interval)
@@ -148,10 +200,11 @@ class PowerStateLedger:
                  tag: Optional[str] = None) -> float:
         """Total charge drawn in coulombs (I * t), filtered."""
         from ..sim.simtime import to_seconds
+        current_a = self._current_a
         total = 0.0
         for (s, g), ticks in self._live_ticks().items():
             if (state is None or s == state) and (tag is None or g == tag):
-                total += self.table[s].current_a * to_seconds(ticks)
+                total += current_a[s] * to_seconds(ticks)
         return total
 
     def energy_j(self, state: Optional[str] = None,
@@ -166,29 +219,29 @@ class PowerStateLedger:
 
     def seconds_by_state(self) -> Dict[str, float]:
         """Residency in seconds per state name (the metrics view)."""
-        out: Dict[str, float] = defaultdict(float)
+        out: Dict[str, float] = {}
         from ..sim.simtime import to_seconds
         for (s, _), ticks in self._live_ticks().items():
-            out[s] += to_seconds(ticks)
-        return dict(out)
+            out[s] = out.get(s, 0.0) + to_seconds(ticks)
+        return out
 
     def energy_by_state(self) -> Dict[str, float]:
         """Energy in joules per state name."""
-        out: Dict[str, float] = defaultdict(float)
+        out: Dict[str, float] = {}
         from ..sim.simtime import to_seconds
+        iv_coeff = self._iv_coeff
         for (s, _), ticks in self._live_ticks().items():
-            out[s] += self.table[s].current_a * self.supply_v \
-                * to_seconds(ticks)
-        return dict(out)
+            out[s] = out.get(s, 0.0) + iv_coeff[s] * to_seconds(ticks)
+        return out
 
     def energy_by_tag(self) -> Dict[str, float]:
         """Energy in joules per tag."""
-        out: Dict[str, float] = defaultdict(float)
+        out: Dict[str, float] = {}
         from ..sim.simtime import to_seconds
+        iv_coeff = self._iv_coeff
         for (s, g), ticks in self._live_ticks().items():
-            out[g] += self.table[s].current_a * self.supply_v \
-                * to_seconds(ticks)
-        return dict(out)
+            out[g] = out.get(g, 0.0) + iv_coeff[s] * to_seconds(ticks)
+        return out
 
     def average_power_w(self, horizon_ticks: Optional[int] = None) -> float:
         """Average power over ``horizon_ticks`` (defaults to sim.now)."""

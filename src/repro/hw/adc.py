@@ -31,14 +31,17 @@ class Adc12:
                 f"vref_high ({vref_high}) must exceed vref_low ({vref_low})")
         self.vref_low = vref_low
         self.vref_high = vref_high
+        self._span = vref_high - vref_low
         self._conversions = 0
 
     def convert(self, volts: float) -> int:
         """Quantise ``volts`` to a 12-bit code, clamping at the rails."""
         self._conversions += 1
-        span = self.vref_high - self.vref_low
-        code = round((volts - self.vref_low) / span * FULL_SCALE_CODE)
-        return max(0, min(FULL_SCALE_CODE, code))
+        code = round((volts - self.vref_low) / self._span
+                     * FULL_SCALE_CODE)
+        if code < 0:
+            return 0
+        return code if code < FULL_SCALE_CODE else FULL_SCALE_CODE
 
     def to_volts(self, code: int) -> float:
         """Inverse transfer function (midpoint reconstruction)."""

@@ -35,7 +35,7 @@ class FrameKind(enum.Enum):
         return self is not FrameKind.DATA
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Frame:
     """One over-the-air frame.
 

@@ -64,6 +64,11 @@ class Msp430:
             sim, name, table, calibration.supply_v, initial_state=SLEEP)
         self._cycles_executed = 0
         self._wakeups = 0
+        # cycles -> ticks memo: task cycle counts come from the small
+        # calibrated cost table, so the dispatcher's per-task conversion
+        # collapses to one dict hit.
+        self._ticks_memo: dict = {}
+        self._wake_latency_ticks = seconds(calibration.mcu_wakeup_s)
 
     # ------------------------------------------------------------------
     # State control (driven by the TinyOS scheduler)
@@ -97,15 +102,16 @@ class Msp430:
         self.ledger.transition(ACTIVE, tag="wakeup")
         if self._trace is not None:
             self._trace.record(self._sim.now, self.name, "wake", "")
-        return seconds(self._cal.mcu_wakeup_s)
+        return self._wake_latency_ticks
 
     def begin_task(self, label: str = "") -> None:
         """Mark the start of task execution (re-tags active time)."""
-        if self.is_sleeping:
+        ledger = self.ledger
+        if ledger._state != ACTIVE:  # is_sleeping, without the chain
             raise RuntimeError(
                 f"{self.name}: task {label!r} started while sleeping; "
                 "the scheduler must wake the core first")
-        self.ledger.retag("task")
+        ledger.retag("task")
 
     def sleep(self, deep: bool = False) -> None:
         """Drop to a power-saving mode (task queue drained).
@@ -127,9 +133,13 @@ class Msp430:
     # ------------------------------------------------------------------
     def cycles_to_ticks(self, cycles: int) -> int:
         """Duration of ``cycles`` core clock cycles, in simulation ticks."""
-        if cycles < 0:
-            raise ValueError(f"negative cycle count: {cycles}")
-        return round(cycles * TICKS_PER_SECOND / self._cal.mcu_clock_hz)
+        ticks = self._ticks_memo.get(cycles)
+        if ticks is None:
+            if cycles < 0:
+                raise ValueError(f"negative cycle count: {cycles}")
+            ticks = round(cycles * TICKS_PER_SECOND / self._cal.mcu_clock_hz)
+            self._ticks_memo[cycles] = ticks
+        return ticks
 
     def account_cycles(self, cycles: int) -> None:
         """Book ``cycles`` into the executed-cycles counter."""

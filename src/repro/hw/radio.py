@@ -132,6 +132,26 @@ class Nrf2401:
         self._tx_busy = False
         self._inflight: Dict[int, "Transmission"] = {}
 
+        # Hot-path precomputation: the ShockBurst chain schedules three
+        # callbacks per frame and the timing constants never change, so
+        # labels and tick conversions are formed once here.  The
+        # airtime/energy memos are keyed by payload size (a handful of
+        # distinct values per scenario); the cached products repeat the
+        # exact left-associated expressions of the uncached code, so
+        # every booked energy stays bit-identical.
+        timing = calibration.radio_timing
+        self._label_txair = f"{name}.txair"
+        self._label_txtail = f"{name}.txtail"
+        self._label_txdone = f"{name}.txdone"
+        self._label_rxtail = f"{name}.rxtail"
+        self._tx_settle_ticks = seconds(timing.tx_settle_s)
+        self._tx_tail_ticks = seconds(timing.tx_tail_s)
+        self._rx_tail_ticks = seconds(timing.rx_tail_s)
+        self._airtime_memo: Dict[int, int] = {}
+        self._tx_event_memo: Dict[int, int] = {}
+        self._tx_energy_memo: Dict[int, float] = {}
+        self._rx_energy_memo: Dict[int, float] = {}
+
         # Traffic counters (read via snapshot_counters()).
         self._count_data_tx = 0
         self._count_data_rx = 0
@@ -210,8 +230,8 @@ class Nrf2401:
             return
         self._rx_since = None
         self.ledger.retag("tail")
-        tail = seconds(self._cal.radio_timing.rx_tail_s)
-        self._sim.after(tail, self._finish_rx_tail, label=f"{self.name}.rxtail")
+        self._sim.after(self._rx_tail_ticks, self._finish_rx_tail,
+                        label=self._label_rxtail)
 
     def _finish_rx_tail(self) -> None:
         # A start_rx()/send() issued during the tail supersedes it.
@@ -225,11 +245,21 @@ class Nrf2401:
     # ------------------------------------------------------------------
     def airtime_ticks(self, frame: Frame) -> int:
         """On-air duration of ``frame`` in ticks."""
-        return seconds(self._cal.radio_timing.airtime_s(frame.payload_bytes))
+        num_bytes = frame.payload_bytes
+        ticks = self._airtime_memo.get(num_bytes)
+        if ticks is None:
+            ticks = seconds(self._cal.radio_timing.airtime_s(num_bytes))
+            self._airtime_memo[num_bytes] = ticks
+        return ticks
 
     def tx_event_ticks(self, frame: Frame) -> int:
         """Total radio-on time of a ShockBurst transmission of ``frame``."""
-        return seconds(self._cal.radio_timing.tx_event_s(frame.payload_bytes))
+        num_bytes = frame.payload_bytes
+        ticks = self._tx_event_memo.get(num_bytes)
+        if ticks is None:
+            ticks = seconds(self._cal.radio_timing.tx_event_s(num_bytes))
+            self._tx_event_memo[num_bytes] = ticks
+        return ticks
 
     def send(self, frame: Frame,
              on_complete: Optional[Callable[[TxOutcome], None]] = None
@@ -261,14 +291,13 @@ class Nrf2401:
             # frozen, so ids survive retransmits of the same object).
             object.__setattr__(frame, "frame_id",
                                self._sim.next_serial())
-        timing = self._cal.radio_timing
         self.ledger.transition(TX, tag="settle")
         if self._trace is not None:
             self._trace.record(self._sim.now, self.name, "tx_start",
                                frame.describe())
-        settle = seconds(timing.tx_settle_s)
-        self._sim.after(settle, lambda: self._begin_air(frame, on_complete),
-                        label=f"{self.name}.txair")
+        self._sim.after(self._tx_settle_ticks,
+                        lambda: self._begin_air(frame, on_complete),
+                        label=self._label_txair)
 
     def _begin_air(self, frame: Frame,
                    on_complete: Optional[Callable[[TxOutcome], None]]
@@ -278,15 +307,15 @@ class Nrf2401:
         transmission = self._channel.begin_transmission(self, frame, airtime)
         self._sim.after(airtime,
                         lambda: self._end_air(transmission, on_complete),
-                        label=f"{self.name}.txtail")
+                        label=self._label_txtail)
 
     def _end_air(self, transmission: "Transmission",
                  on_complete: Optional[Callable[[TxOutcome], None]]) -> None:
         outcome = self._channel.end_transmission(transmission)
         self.ledger.retag("tail")
-        tail = seconds(self._cal.radio_timing.tx_tail_s)
-        self._sim.after(tail, lambda: self._finish_tx(outcome, on_complete),
-                        label=f"{self.name}.txdone")
+        self._sim.after(self._tx_tail_ticks,
+                        lambda: self._finish_tx(outcome, on_complete),
+                        label=self._label_txdone)
 
     def _finish_tx(self, outcome: TxOutcome,
                    on_complete: Optional[Callable[[TxOutcome], None]]
@@ -302,8 +331,11 @@ class Nrf2401:
 
     def _book_tx_energy(self, outcome: TxOutcome) -> None:
         frame = outcome.frame
-        energy = (self._cal.radio_timing.tx_event_s(frame.payload_bytes)
-                  * self._cal.radio_tx_a * self._cal.supply_v)
+        energy = self._tx_energy_memo.get(frame.payload_bytes)
+        if energy is None:
+            energy = (self._cal.radio_timing.tx_event_s(frame.payload_bytes)
+                      * self._cal.radio_tx_a * self._cal.supply_v)
+            self._tx_energy_memo[frame.payload_bytes] = energy
         unicast_lost = (not frame.is_broadcast
                         and frame.dest in outcome.corrupted_at)
         if unicast_lost:
@@ -337,8 +369,12 @@ class Nrf2401:
         if not captured:
             return  # receiver was off (or turned on mid-frame): nothing seen
         frame = transmission.frame
-        rx_energy = (to_seconds(transmission.airtime)
-                     * self._cal.radio_rx_a * self._cal.supply_v)
+        airtime = transmission.airtime
+        rx_energy = self._rx_energy_memo.get(airtime)
+        if rx_energy is None:
+            rx_energy = (to_seconds(airtime)
+                         * self._cal.radio_rx_a * self._cal.supply_v)
+            self._rx_energy_memo[airtime] = rx_energy
         faulted = self.fault_rx_deaf
         if (not faulted and self.fault_drop_beacons > 0
                 and frame.kind is FrameKind.BEACON):

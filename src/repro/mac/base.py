@@ -186,6 +186,19 @@ class NodeMac(Component):
         self._ssr_attempts = 0
         self._ssr_skip_remaining = 0
 
+        # Event labels are scheduled once per cycle per node; precompute
+        # them so the hot paths never rebuild the same f-string.
+        name = self.name
+        self._label_rxon = f"{name}.rxon"
+        self._label_beacon_timeout = f"{name}.beacon_timeout"
+        self._label_slot = f"{name}.slot"
+        self._label_pkt_prep = f"{name}.pkt_prep"
+        self._label_beacon_proc = f"{name}.beacon_proc"
+        self._label_foreign_beacon = f"{name}.foreign_beacon"
+        self._label_sw_discard = f"{name}.sw_discard"
+        self._label_unexpected_rx = f"{name}.unexpected_rx"
+        self._label_ssr = f"{name}.ssr"
+
         radio.on_frame = self._on_frame
 
     # ------------------------------------------------------------------
@@ -425,14 +438,14 @@ class NodeMac(Component):
         serial = self._window_serial
         self._next_window_open = wake
         self._sim.at(wake, lambda: self._open_window(serial),
-                     label=f"{self.name}.rxon")
+                     label=self._label_rxon)
         # Keep listening one lead past the expected time before declaring
         # a miss (symmetric guard), plus a beacon airtime.
         airtime = microseconds(200)
         timeout = expected_beacon + lead + airtime
         self._sim.at(timeout,
                      lambda: self._beacon_timeout(expected_beacon, serial),
-                     label=f"{self.name}.beacon_timeout")
+                     label=self._label_beacon_timeout)
 
     def _open_window(self, serial: int) -> None:
         if not self.started:
@@ -481,7 +494,7 @@ class NodeMac(Component):
                 self.counters.software_discards += 1
                 self._scheduler.post_cost_only(
                     self._cal.mcu_costs.packet_reception,
-                    label=f"{self.name}.foreign_beacon")
+                    label=self._label_foreign_beacon)
                 return
             self._handle_beacon(frame)
             return
@@ -491,14 +504,14 @@ class NodeMac(Component):
             self.counters.software_discards += 1
             self._scheduler.post_cost_only(
                 self._cal.mcu_costs.packet_reception,
-                label=f"{self.name}.sw_discard")
+                label=self._label_sw_discard)
             return
         # Nodes receive no unicast traffic in these protocols; anything
         # else is counted and dropped in task context.
         self.counters.software_discards += 1
         self._scheduler.post_cost_only(
             self._cal.mcu_costs.packet_reception,
-            label=f"{self.name}.unexpected_rx")
+            label=self._label_unexpected_rx)
 
     def _handle_beacon(self, frame: Frame) -> None:
         payload = frame.payload
@@ -517,7 +530,7 @@ class NodeMac(Component):
         # update, timer re-arm).
         self._scheduler.post_cost_only(
             self._cal.mcu_costs.beacon_processing,
-            label=f"{self.name}.beacon_proc")
+            label=self._label_beacon_proc)
 
         if self.state is NodeState.ACQUIRING:
             self.state = NodeState.JOINING
@@ -574,7 +587,7 @@ class NodeMac(Component):
         if tx_time <= self._sim.now:
             return  # the slot is already past (late join mid-cycle)
         self._next_slot_time = tx_time
-        self._sim.at(tx_time, self._slot_fired, label=f"{self.name}.slot")
+        self._sim.at(tx_time, self._slot_fired, label=self._label_slot)
 
     def _slot_fired(self) -> None:
         if not self.started:
@@ -594,7 +607,7 @@ class NodeMac(Component):
         self._scheduler.post(
             lambda: self._radio.send(frame, self._data_tx_done),
             self._cal.mcu_costs.packet_preparation,
-            label=f"{self.name}.pkt_prep")
+            label=self._label_pkt_prep)
 
     def _data_tx_done(self, outcome: TxOutcome) -> None:
         self.counters.data_sent += 1
@@ -618,7 +631,7 @@ class NodeMac(Component):
         self._scheduler.post(
             lambda: self._radio.send(frame),
             self._cal.mcu_costs.packet_preparation,
-            label=f"{self.name}.ssr")
+            label=self._label_ssr)
 
 
 class BaseStationMac(Component):
@@ -650,6 +663,14 @@ class BaseStationMac(Component):
         #: alignment and diagnostics).
         self.next_beacon_ticks = first_beacon_ticks
         self._sequence = 0
+        # Event/task labels are stable per instance; precompute them so
+        # the per-cycle and per-frame paths avoid f-string formatting.
+        name = self.name
+        self._label_beacon = f"{name}.beacon"
+        self._label_beacon_prep = f"{name}.beacon_prep"
+        self._label_ssr_rx = f"{name}.ssr_rx"
+        self._label_data_rx = f"{name}.data_rx"
+        self._label_sw_discard = f"{name}.sw_discard"
         radio.on_frame = self._on_frame
 
     # ------------------------------------------------------------------
@@ -691,7 +712,7 @@ class BaseStationMac(Component):
     def on_start(self) -> None:
         self._radio.power_up()
         self._sim.at(self._first_beacon, self._beacon_time,
-                     label=f"{self.name}.beacon")
+                     label=self._label_beacon)
 
     def on_stop(self) -> None:
         if self._radio.is_receiving:
@@ -721,10 +742,10 @@ class BaseStationMac(Component):
         self._scheduler.post(
             lambda: self._radio.send(frame, self._beacon_sent),
             self._cal.mcu_costs.packet_preparation,
-            label=f"{self.name}.beacon_prep")
+            label=self._label_beacon_prep)
         self.next_beacon_ticks = self._sim.now + cycle
         self._sim.at(self.next_beacon_ticks, self._beacon_time,
-                     label=f"{self.name}.beacon")
+                     label=self._label_beacon)
 
     def _beacon_sent(self, outcome: TxOutcome) -> None:
         self.counters.beacons_sent += 1
@@ -743,14 +764,14 @@ class BaseStationMac(Component):
             self.counters.slot_requests_received += 1
             self._scheduler.post_cost_only(
                 self._cal.mcu_costs.packet_reception,
-                label=f"{self.name}.ssr_rx")
+                label=self._label_ssr_rx)
             self._handle_slot_request(payload)
             return
         if frame.kind is FrameKind.DATA:
             self.counters.data_received += 1
             self._scheduler.post_cost_only(
                 self._cal.mcu_costs.packet_reception,
-                label=f"{self.name}.data_rx")
+                label=self._label_data_rx)
             if self.data_sink is not None:
                 self.data_sink(frame)
             return
@@ -758,7 +779,7 @@ class BaseStationMac(Component):
         self.counters.software_discards += 1
         self._scheduler.post_cost_only(
             self._cal.mcu_costs.packet_reception,
-            label=f"{self.name}.sw_discard")
+            label=self._label_sw_discard)
 
 
 __all__ = ["AppPayload", "NodeState", "MacCounters",

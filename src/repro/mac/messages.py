@@ -30,7 +30,7 @@ BEACON_BASE_BYTES = 4
 SLOT_REQUEST_BYTES = 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BeaconPayload:
     """Content of a beacon frame.
 
@@ -78,7 +78,7 @@ def make_beacon(src: str, payload: BeaconPayload) -> Frame:
                  payload=payload)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SlotRequestPayload:
     """Content of an SSR: who is asking, and (static) for which slot."""
 

@@ -34,13 +34,16 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..hw.radio import Nrf2401, TxOutcome
 
 
-@dataclass
+@dataclass(slots=True)
 class Transmission:
     """One frame in flight.
 
     ``corrupted_at`` collects receiver addresses where the frame will
     fail the CRC (collision overlap or loss-model draw); ``delivered_to``
     collects receivers whose radio accepted and delivered it.
+    ``receivers`` is the in-range receiver set computed when the first
+    bit hit the air; the end-of-air notification reuses it, so both
+    edges of one frame see the same audience.
     """
 
     frame: Frame
@@ -49,6 +52,7 @@ class Transmission:
     airtime: int
     corrupted_at: Set[str] = field(default_factory=set)
     delivered_to: List[str] = field(default_factory=list)
+    receivers: List["Nrf2401"] = field(default_factory=list)
 
     @property
     def end_time(self) -> int:
@@ -109,10 +113,13 @@ class Channel:
         return self._frames_sent
 
     def _receivers_of(self, sender: "Nrf2401") -> List["Nrf2401"]:
+        sender_address = sender.address
+        sender_rf = sender.rf_channel
+        in_range = self.topology.in_range
         return [radio for address, radio in self._radios.items()
-                if address != sender.address
-                and radio.rf_channel == sender.rf_channel
-                and self.topology.in_range(sender.address, address)]
+                if address != sender_address
+                and radio.rf_channel == sender_rf
+                and in_range(sender_address, address)]
 
     # ------------------------------------------------------------------
     # Transmission lifecycle (called by the transmitting radio)
@@ -125,30 +132,44 @@ class Channel:
         already has frames in flight, *all* overlapping frames (old and
         new) are marked corrupted at that receiver.
         """
+        now = self._sim.now
+        receivers = self._receivers_of(sender)
         transmission = Transmission(frame=frame, sender=sender,
-                                    start_time=self._sim.now,
-                                    airtime=airtime)
-        self._live[frame.frame_id] = transmission
+                                    start_time=now,
+                                    airtime=airtime,
+                                    receivers=receivers)
+        frame_id = frame.frame_id
+        live = self._live
+        live[frame_id] = transmission
         self._frames_sent += 1
         if self._trace is not None:
-            self._trace.record(self._sim.now, "channel", "air_start",
+            self._trace.record(now, "channel", "air_start",
                                frame.describe())
-        for receiver in self._receivers_of(sender):
+        loss_model = self.loss_model
+        # A model that never overrides is_corrupted (the lossless base
+        # behaviour) needs no per-receiver draw at all.
+        lossy = type(loss_model).is_corrupted \
+            is not LossModel.is_corrupted
+        inflight_at = self._inflight_at
+        corrupted_at = transmission.corrupted_at
+        src = sender.address
+        rng = self._sim.rng
+        for receiver in receivers:
             address = receiver.address
-            inflight = self._inflight_at[address]
+            inflight = inflight_at[address]
             if inflight:
                 # Collision at this receiver: corrupt everyone involved.
                 for other_id in inflight:
-                    other = self._live[other_id]
+                    other = live[other_id]
                     if address not in other.corrupted_at:
                         other.corrupted_at.add(address)
                         self._collisions_detected += 1
-                transmission.corrupted_at.add(address)
+                corrupted_at.add(address)
                 self._collisions_detected += 1
-            if self.loss_model.is_corrupted(
-                    self._sim.rng, sender.address, address, frame.frame_id):
-                transmission.corrupted_at.add(address)
-            inflight.add(frame.frame_id)
+            if lossy and loss_model.is_corrupted(
+                    rng, src, address, frame_id):
+                corrupted_at.add(address)
+            inflight.add(frame_id)
             receiver.frame_arrival_start(transmission)
         return transmission
 
@@ -156,16 +177,20 @@ class Channel:
         """Last bit off air: notify receivers and summarise the outcome."""
         from ..hw.radio import TxOutcome
         frame = transmission.frame
-        self._live.pop(frame.frame_id, None)
+        frame_id = frame.frame_id
+        self._live.pop(frame_id, None)
         if self._trace is not None:
             self._trace.record(self._sim.now, "channel", "air_end",
                                frame.describe())
-        for receiver in self._receivers_of(transmission.sender):
-            self._inflight_at[receiver.address].discard(frame.frame_id)
-            corrupted = receiver.address in transmission.corrupted_at
-            receiver.frame_arrival_end(transmission, corrupted)
+        inflight_at = self._inflight_at
+        corrupted_at = transmission.corrupted_at
+        for receiver in transmission.receivers:
+            address = receiver.address
+            inflight_at[address].discard(frame_id)
+            receiver.frame_arrival_end(transmission,
+                                       address in corrupted_at)
         return TxOutcome(frame=frame,
-                         corrupted_at=sorted(transmission.corrupted_at),
+                         corrupted_at=sorted(corrupted_at),
                          delivered_to=list(transmission.delivered_to))
 
 

@@ -94,6 +94,9 @@ class BodyTopology(Topology):
             raise ValueError(f"range must be positive: {range_m}")
         self._positions = dict(positions)
         self._range_m = range_m
+        # Positions are copied and immutable, so pairwise reachability
+        # never changes; memoise it (the channel asks per transmission).
+        self._range_memo: Dict[Tuple[str, str], bool] = {}
 
     @classmethod
     def body_preset(cls, range_m: float = 2.0) -> "BodyTopology":
@@ -109,11 +112,23 @@ class BodyTopology(Topology):
                 f"unknown node {node!r}; known: {sorted(self._positions)}"
             ) from None
 
+    def nodes(self) -> Tuple[str, ...]:
+        """Known node ids, in insertion order."""
+        return tuple(self._positions)
+
     def in_range(self, src: str, dst: str) -> bool:
+        key = (src, dst)
+        memo = self._range_memo
+        if key in memo:
+            return memo[key]
         if src == dst:
-            return False
-        distance = self.position_of(src).distance_to(self.position_of(dst))
-        return distance <= self._range_m
+            result = False
+        else:
+            distance = self.position_of(src).distance_to(
+                self.position_of(dst))
+            result = distance <= self._range_m
+        memo[key] = result
+        return result
 
 
 class ExplicitLinks(Topology):

@@ -15,6 +15,7 @@ defaults to zero so the case-study rate is exact.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
@@ -74,8 +75,22 @@ class SyntheticEcg:
         self.hrv_fraction = hrv_fraction
         self.hrv_frequency_hz = hrv_frequency_hz
         self.morphology = tuple(morphology)
+        # Hot path (value_at) iterates the morphology once per sample;
+        # plain tuples avoid repeated dataclass attribute lookups.  Each
+        # wave carries a cutoff distance beyond which exp() underflows
+        # to exactly 0.0 (|dt/width| >= 38.73 => exponent <= -750, well
+        # past the ~-745.2 double underflow), so skipping it adds the
+        # same +/-0.0 the full evaluation would.
+        self._waves: Tuple[Tuple[float, float, float, float], ...] = tuple(
+            (w.amplitude, w.offset_s, w.width_s, w.width_s * 38.73)
+            for w in self.morphology)
         self._mean_rr_s = 60.0 / heart_rate_bpm
         self._beats: List[float] = [first_beat_s]
+        # One-entry memo: sources are pure functions of time, and every
+        # ASIC channel wrapping this instance samples the same instants,
+        # so consecutive repeats are common (one per extra channel).
+        self._memo_t: float = math.nan
+        self._memo_v: float = 0.0
 
     # ------------------------------------------------------------------
     # Beat schedule
@@ -99,20 +114,27 @@ class SyntheticEcg:
     # ------------------------------------------------------------------
     def value_at(self, t_seconds: float) -> float:
         """Signal value in millivolts at ``t_seconds``."""
+        # lint: allow(FLT001): exact-identity memo hit, not a tolerance
+        if t_seconds == self._memo_t:
+            return self._memo_v
         self._ensure_beats_until(t_seconds)
         # Only the two beats bracketing t can contribute (waves span
         # well under half an RR interval).
+        exp = math.exp
+        waves = self._waves
         value = 0.0
         for beat in self._neighbouring_beats(t_seconds):
-            for wave in self.morphology:
-                dt = t_seconds - (beat + wave.offset_s)
-                value += wave.amplitude * math.exp(
-                    -0.5 * (dt / wave.width_s) ** 2)
-        return self.amplitude_mv * value
+            for amplitude, offset_s, width_s, cutoff in waves:
+                dt = t_seconds - (beat + offset_s)
+                if -cutoff < dt < cutoff:
+                    value += amplitude * exp(-0.5 * (dt / width_s) ** 2)
+        result = self.amplitude_mv * value
+        self._memo_t = t_seconds
+        self._memo_v = result
+        return result
 
     def _neighbouring_beats(self, t_seconds: float) -> List[float]:
-        import bisect
-        index = bisect.bisect_left(self._beats, t_seconds)
+        index = bisect_left(self._beats, t_seconds)
         lo = max(0, index - 1)
         hi = min(len(self._beats), index + 1)
         return self._beats[lo:hi + 1]

@@ -64,11 +64,17 @@ class SyntheticEeg:
                 frequency = rng.uniform(band.hz_low, band.hz_high)
                 phase = rng.uniform(0.0, 2.0 * math.pi)
                 self._tones.append((frequency, phase, amplitude))
+        # Angular frequency per tone, precomputed with the same float
+        # ops value_at used inline ((2.0 * pi) * f), so samples are
+        # bit-identical.
+        self._fast_tones: Tuple[Tuple[float, float, float], ...] = tuple(
+            (2.0 * math.pi * f, p, a) for f, p, a in self._tones)
 
     def value_at(self, t_seconds: float) -> float:
         """Signal value in microvolts at ``t_seconds``."""
-        return sum(a * math.sin(2.0 * math.pi * f * t_seconds + p)
-                   for f, p, a in self._tones)
+        sin = math.sin
+        return sum(a * sin(w * t_seconds + p)
+                   for w, p, a in self._fast_tones)
 
     def band_rms(self) -> Dict[str, float]:
         """Analytic per-band RMS in microvolts (exact for pure tones)."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 import hashlib
 import math
 import struct
-from typing import Protocol, Sequence
+from typing import Optional, Protocol, Sequence
 
 
 class SignalSource(Protocol):
@@ -68,16 +68,26 @@ class HashNoiseSource:
         self.amplitude = amplitude
         self.seed = seed
         self.resolution_s = resolution_s
+        # One-entry memo over the quantised time axis: sources are pure
+        # functions of time, and co-located channels sample the same
+        # instants back to back.
+        self._memo_q: Optional[int] = None
+        self._memo_v: float = 0.0
 
     def value_at(self, t_seconds: float) -> float:
         if self.amplitude == 0.0:
             return 0.0
         quantised = round(t_seconds / self.resolution_s)
+        if quantised == self._memo_q:
+            return self._memo_v
         digest = hashlib.blake2b(
             struct.pack("<qq", self.seed, quantised),
             digest_size=8).digest()
         unit = int.from_bytes(digest, "little") / float(1 << 64)
-        return self.amplitude * (2.0 * unit - 1.0)
+        value = self.amplitude * (2.0 * unit - 1.0)
+        self._memo_q = quantised
+        self._memo_v = value
+        return value
 
 
 class MixSource:
@@ -92,10 +102,20 @@ class MixSource:
                 f"{len(weights)} weights for {len(sources)} sources")
         self._sources = list(sources)
         self._weights = list(weights) if weights else [1.0] * len(sources)
+        # One-entry memo (sources are pure functions of time; multiple
+        # ASIC channels wrapping the same mix sample the same instants).
+        self._memo_t: float = math.nan
+        self._memo_v: float = 0.0
 
     def value_at(self, t_seconds: float) -> float:
-        return sum(w * s.value_at(t_seconds)
-                   for s, w in zip(self._sources, self._weights))
+        # lint: allow(FLT001): exact-identity memo hit, not a tolerance
+        if t_seconds == self._memo_t:
+            return self._memo_v
+        value = sum(w * s.value_at(t_seconds)
+                    for s, w in zip(self._sources, self._weights))
+        self._memo_t = t_seconds
+        self._memo_v = value
+        return value
 
 
 class ScaledSource:

@@ -38,6 +38,7 @@ class TaskScheduler:
         self._sim = sim
         self._mcu = mcu
         self.name = name
+        self._dispatch_label = f"{name}.dispatch"
         self._trace = trace
         self._queue: Deque[Task] = deque()
         self._dispatching = False
@@ -104,7 +105,7 @@ class TaskScheduler:
         # The first task starts after the wake-up transition (6 us from
         # the power-saving mode, 0 if the MCU was already active).
         self._sim.after(wake_latency, self._dispatch_next,
-                        label=f"{self.name}.dispatch")
+                        label=self._dispatch_label)
 
     def _dispatch_next(self) -> None:
         if not self._queue:
@@ -113,18 +114,20 @@ class TaskScheduler:
             return
         task = self._queue.popleft()
         self._tasks_run += 1
-        self._mcu.begin_task(task.label)
-        self._mcu.account_cycles(task.cycles)
+        mcu = self._mcu
+        cycles = task.cycles
+        mcu.begin_task(task.label)
+        mcu.account_cycles(cycles)
         if self._trace is not None:
             self._trace.record(self._sim.now, self.name, "task",
                                f"{task.label}#{task.task_id} "
-                               f"({task.cycles} cyc)")
-        duration = self._mcu.cycles_to_ticks(task.cycles)
+                               f"({cycles} cyc)")
+        duration = mcu.cycles_to_ticks(cycles)
         # The body's side effects happen at task start; the MCU then
         # stays active for the task's duration before the next dispatch.
         task.body()
         self._sim.after(duration, self._dispatch_next,
-                        label=f"{self.name}.dispatch")
+                        label=self._dispatch_label)
 
     def _choose_deep(self) -> bool:
         if self.wake_hint_provider is None:

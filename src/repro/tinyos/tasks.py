@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Task:
     """One posted task.
 

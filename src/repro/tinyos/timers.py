@@ -9,25 +9,32 @@ the posted task's calibrated cycle count.
 Periodic timers re-arm from the *scheduled* fire time, not the actual
 dispatch time, so long tasks cannot skew the sampling grid (TinyOS's
 ``startPeriodic`` behaves the same way); this matters for the sampling
-applications where the grid defines the data rate.
+applications where the grid defines the data rate.  The re-arm rides the
+kernel's :meth:`~repro.sim.kernel.Simulator.every` fast path: one
+persistent heap entry advanced in place per fire, with dispatch order
+identical to per-fire rescheduling.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..sim.events import EVT_CANCELLED, EventEntry, cancel_event
+from ..sim.events import EVT_CANCELLED, EVT_TIME, EventEntry, cancel_event
 from ..sim.kernel import Simulator
 
 
 class VirtualTimer:
     """One-shot or periodic timer bound to the simulation clock."""
 
+    __slots__ = ("_sim", "_handler", "name", "_event", "_period",
+                 "_next_fire", "_fired_count", "_fire_label")
+
     def __init__(self, sim: Simulator, handler: Callable[[], None],
                  name: str = "timer") -> None:
         self._sim = sim
         self._handler = handler
         self.name = name
+        self._fire_label = f"{name}.fire"
         self._event: Optional[EventEntry] = None
         self._period: Optional[int] = None
         self._next_fire: Optional[int] = None
@@ -41,8 +48,8 @@ class VirtualTimer:
         self.stop()
         self._period = None
         self._next_fire = self._sim.now + delay
-        self._event = self._sim.at(self._next_fire, self._fire,
-                                   label=f"{self.name}.fire")
+        self._event = self._sim.at(self._next_fire, self._fire_once,
+                                   label=self._fire_label)
 
     def start_periodic(self, period: int, first_delay: Optional[int] = None
                        ) -> None:
@@ -53,9 +60,10 @@ class VirtualTimer:
         self.stop()
         self._period = period
         delay = period if first_delay is None else first_delay
-        self._next_fire = self._sim.now + delay
-        self._event = self._sim.at(self._next_fire, self._fire,
-                                   label=f"{self.name}.fire")
+        self._event = self._sim.every(period, self._fire_periodic,
+                                      label=self._fire_label,
+                                      first_delay=delay)
+        self._next_fire = self._event[EVT_TIME]
 
     def stop(self) -> None:
         """Disarm; a pending fire is cancelled."""
@@ -86,14 +94,19 @@ class VirtualTimer:
         return self._next_fire
 
     # ------------------------------------------------------------------
-    def _fire(self) -> None:
+    def _fire_once(self) -> None:
         self._event = None
-        if self._period is not None:
-            # Re-arm from the scheduled time to keep the grid exact.
-            assert self._next_fire is not None
-            self._next_fire += self._period
-            self._event = self._sim.at(self._next_fire, self._fire,
-                                       label=f"{self.name}.fire")
+        self._next_fire = None
+        self._fired_count += 1
+        self._handler()
+
+    def _fire_periodic(self) -> None:
+        # The kernel's every() entry has already been re-armed in place:
+        # its time slot now reads the *next* fire, which is exactly what
+        # per-fire rescheduling left in _next_fire at this point.
+        event = self._event
+        if event is not None:
+            self._next_fire = event[EVT_TIME]
         self._fired_count += 1
         self._handler()
 

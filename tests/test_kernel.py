@@ -238,3 +238,70 @@ class TestDeterminism:
         a = Simulator(seed=1).rng.stream("x").random()
         b = Simulator(seed=2).rng.stream("x").random()
         assert a != b
+
+
+class TestEvery:
+    """Simulator.every re-arms one heap entry in place; its dispatch
+    order must be indistinguishable from a naive per-fire at() re-arm."""
+
+    def _run_and_log(self, schedule):
+        sim = Simulator()
+        log = []
+
+        def make_handler(name):
+            def handler():
+                log.append((sim.now, name))
+                # Coincident one-shot: its sequence number interleaves
+                # with the re-arm's, so any seq-order drift shows up.
+                sim.at(sim.now, lambda: log.append((sim.now,
+                                                    name + ".echo")))
+            return handler
+
+        schedule(sim, make_handler)
+        sim.run_until(2000)
+        return log
+
+    def test_matches_naive_at_rearm_ordering(self):
+        def with_every(sim, make_handler):
+            sim.every(70, make_handler("p70"))
+            sim.every(110, make_handler("p110"), first_delay=30)
+
+        def with_at(sim, make_handler):
+            def arm(period, handler, first):
+                def fire():
+                    # Old formulation: re-arm (consuming the next seq)
+                    # before the handler body runs.
+                    sim.at(sim.now + period, fire)
+                    handler()
+                sim.at(first, fire)
+
+            arm(70, make_handler("p70"), 70)
+            arm(110, make_handler("p110"), 30)
+
+        assert self._run_and_log(with_every) \
+            == self._run_and_log(with_at)
+
+    def test_cancelling_the_entry_stops_the_cycle(self):
+        sim = Simulator()
+        fired = []
+        entry = sim.every(10, lambda: fired.append(sim.now))
+        sim.run_until(35)
+        cancel_event(entry)
+        sim.run_until(100)
+        assert fired == [10, 20, 30]
+
+    def test_first_delay_zero_fires_immediately(self):
+        sim = Simulator()
+        fired = []
+        sim.every(10, lambda: fired.append(sim.now), first_delay=0)
+        sim.run_until(25)
+        assert fired == [0, 10, 20]
+
+    def test_invalid_period_and_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.every(0, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.every(-5, lambda: None)
+        with pytest.raises(SimulationError):
+            sim.every(10, lambda: None, first_delay=-1)

@@ -171,3 +171,100 @@ class TestLedgerLifecycle:
 
     def test_average_power_zero_horizon(self, sim):
         assert make_ledger(sim).average_power_w() == 0.0
+
+
+class TestLedgerFastPathInvariants:
+    """The transition fast path (precomputed coefficients, same-(state,
+    tag) early-out) must leave every reported figure tick-exact."""
+
+    def test_same_state_retag_keeps_interval_open_but_exact(self, sim):
+        ledger = make_ledger(sim, initial="on")
+        sim.at(seconds(1.0), lambda: ledger.retag("x"))
+        # Same (state, tag): the early-out path — no interval split.
+        sim.at(seconds(2.0), lambda: ledger.transition("on", tag="x"))
+        sim.at(seconds(3.0), lambda: ledger.retag("y"))
+        sim.run_until(seconds(4.0))
+        assert ledger.ticks_in(state="on", tag="x") == seconds(2.0)
+        assert ledger.ticks_in(state="on", tag="y") == seconds(1.0)
+        assert ledger.ticks_in() == seconds(4.0)
+        # The no-op re-tag still counts as a transition.
+        assert ledger.transitions == 3
+
+    def test_same_state_retag_still_notifies_observer(self, sim):
+        ledger = make_ledger(sim, initial="on")
+        seen = []
+        ledger.on_transition = lambda t, s, g: seen.append((t, s, g))
+        ledger.retag("x")
+        ledger.retag("x")
+        assert seen == [(0, "on", "x"), (0, "on", "x")]
+
+    def test_scripted_sequence_closed_form_energy(self, sim):
+        # off [0,2) -> on/"work" [2,5) -> on/"work" again at 3 (early
+        # out) -> off [5,8) horizon-closed at 8.  Energies must equal
+        # the closed forms built with the ledger's own float ops:
+        # (I * to_seconds(ticks)) * V.
+        from repro.sim.simtime import to_seconds
+        ledger = make_ledger(sim, initial="off", supply=2.0)
+        sim.at(seconds(2.0), lambda: ledger.transition("on", tag="work"))
+        sim.at(seconds(3.0), lambda: ledger.transition("on", tag="work"))
+        sim.at(seconds(5.0), lambda: ledger.transition("off"))
+        sim.run_until(seconds(8.0))
+        on_expected = (10e-3 * to_seconds(seconds(3.0))) * 2.0
+        off_expected = (1e-3 * to_seconds(seconds(5.0))) * 2.0
+        assert ledger.energy_j(state="on", tag="work") == on_expected
+        assert ledger.energy_j(state="off") == off_expected
+        assert ledger.ticks_in() == seconds(8.0)
+
+    def test_horizon_close_books_open_interval_exactly(self, sim):
+        ledger = make_ledger(sim, initial="on")
+        sim.run_until(seconds(2.5))
+        # The end hook closed at exactly the horizon.
+        assert ledger.ticks_in(state="on") == seconds(2.5)
+
+
+try:
+    from hypothesis import given, settings, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover
+    HAVE_HYPOTHESIS = False
+
+if HAVE_HYPOTHESIS:
+    transition_scripts = st.lists(
+        st.tuples(st.integers(min_value=1, max_value=50),
+                  st.sampled_from(["on", "off"]),
+                  st.sampled_from([None, "a", "b", "on"])),
+        min_size=0, max_size=20)
+
+    class TestLedgerProperties:
+        @given(transition_scripts)
+        @settings(max_examples=60, deadline=None)
+        def test_state_ticks_equal_sum_over_tags(self, script):
+            sim = Simulator()
+            ledger = make_ledger(sim, initial="off")
+            now = 0
+            for gap, state, tag in script:
+                now += gap
+                sim.at(now, lambda s=state, t=tag:
+                       ledger.transition(s, tag=t))
+            sim.run_until(now + 7)
+            tags = ("on", "off", "a", "b")
+            for state in ("on", "off"):
+                total = ledger.ticks_in(state=state)
+                by_tag = sum(ledger.ticks_in(state=state, tag=t)
+                             for t in tags)
+                assert total == by_tag  # integer ticks: exact
+            assert ledger.ticks_in() == now + 7
+
+        @given(transition_scripts)
+        @settings(max_examples=60, deadline=None)
+        def test_transition_count_and_energy_nonnegative(self, script):
+            sim = Simulator()
+            ledger = make_ledger(sim, initial="off")
+            now = 0
+            for gap, state, tag in script:
+                now += gap
+                sim.at(now, lambda s=state, t=tag:
+                       ledger.transition(s, tag=t))
+            sim.run_until(now + 1)
+            assert ledger.transitions == len(script)
+            assert ledger.energy_j() >= 0.0

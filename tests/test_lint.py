@@ -451,7 +451,10 @@ class TestTreeIsClean:
             (f.path, f.line) for f in report.suppressed]
         waived_files = {pathlib.Path(f.path).name
                         for f in report.suppressed}
-        assert waived_files <= {"kernel.py", "executor.py"}
+        # ecg.py / sources.py waive FLT001 for exact-identity sample
+        # memos (pure-function-of-time sources; == is intentional).
+        assert waived_files <= {"kernel.py", "executor.py",
+                                "ecg.py", "sources.py"}
 
 
 @pytest.mark.skipif(shutil.which("mypy") is None,

@@ -168,3 +168,39 @@ class TestChannel:
         sim.run_until(seconds(0.2))
         assert received == []
         assert b.snapshot_counters().corrupted == 1
+
+
+class TestDistanceLossVectorised:
+    """The precomputed (numpy) PER table must equal the scalar formula
+    bit for bit — the fast path is value-transparent."""
+
+    def test_table_matches_scalar_formula_exactly(self):
+        topo = BodyTopology.body_preset()
+        floor, slope = 0.01, 0.4
+        model = DistanceLoss(topo, floor_per=floor, slope_per_m=slope)
+        for src in topo.nodes():
+            for dst in topo.nodes():
+                expected = min(1.0, floor + slope
+                               * topo.position_of(src).distance_to(
+                                   topo.position_of(dst)))
+                assert model.per_for(src, dst) == expected
+
+    def test_scalar_fallback_agrees_with_table(self):
+        topo = BodyTopology.body_preset()
+        fast = DistanceLoss(topo, floor_per=0.0, slope_per_m=0.05)
+        slow = DistanceLoss(topo, floor_per=0.0, slope_per_m=0.05)
+        slow._per_table = None  # force the no-numpy path
+        for src in topo.nodes():
+            for dst in topo.nodes():
+                assert fast.per_for(src, dst) == slow.per_for(src, dst)
+
+    def test_per_saturates_at_one(self):
+        topo = BodyTopology({"a": Position(0.0, 0.0),
+                             "b": Position(10.0, 0.0)})
+        model = DistanceLoss(topo, floor_per=0.5, slope_per_m=1.0)
+        assert model.per_for("a", "b") == 1.0
+
+    def test_unknown_node_still_raises_key_error(self):
+        model = DistanceLoss(BodyTopology.body_preset())
+        with pytest.raises(KeyError, match="nope"):
+            model.per_for("chest", "nope")
