@@ -90,6 +90,38 @@ def kernel_metrics_overhead() -> int:
     return count[0]
 
 
+#: Scenario shared by the spans-overhead pair (small enough to keep the
+#: default benchmark run fast, busy enough to exercise every hook).
+_SPANS_CONFIG = dict(mac="static", app="ecg_streaming", num_nodes=3,
+                     cycle_ms=30.0, sampling_hz=205.0, measure_s=2.0)
+
+
+def ban_spans_baseline() -> int:
+    """Spans-off partner of :func:`kernel_spans_overhead`: the same
+    3-node 2 s BAN run with no tracer attached.  The disabled path is
+    a per-hook ``is None`` test on unchanged code, so this doubles as
+    the honest baseline the overhead figure is quoted against."""
+    scenario = BanScenario(BanScenarioConfig(**_SPANS_CONFIG))
+    scenario.run()
+    return scenario.sim.events_dispatched
+
+
+def kernel_spans_overhead() -> int:
+    """The same BAN run with a causal span tracer attached.
+
+    Paired with :func:`ban_spans_baseline`, the two records quantify
+    the enabled-path cost of span tracing (cf. the ~1.4% metrics
+    figure from the ``kernel_metrics_overhead`` pair); the span set
+    itself is byte-identical across runs, so only wall time varies.
+    """
+    from repro.obs import attach_span_tracer
+
+    scenario = BanScenario(BanScenarioConfig(**_SPANS_CONFIG))
+    attach_span_tracer(scenario)
+    scenario.run()
+    return scenario.sim.events_dispatched
+
+
 def ban_simulation_rate() -> int:
     """The densest table row (5 nodes, 30 ms cycle, 205 Hz streaming)
     over a short 5 s window; returns events dispatched."""
@@ -182,7 +214,9 @@ def main(argv=None) -> int:
                      f" {args.floor_fraction}")
 
     workloads = [("kernel_event_throughput", kernel_event_throughput),
-                 ("kernel_metrics_overhead", kernel_metrics_overhead)]
+                 ("kernel_metrics_overhead", kernel_metrics_overhead),
+                 ("ban_spans_baseline_2s", ban_spans_baseline),
+                 ("kernel_spans_overhead", kernel_spans_overhead)]
     if args.full or args.check_floor:
         workloads.append(("ban_simulation_rate_5s", ban_simulation_rate))
 

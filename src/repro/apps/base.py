@@ -15,7 +15,7 @@ cost) — exactly the calibrated per-sample decomposition.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 from ..core.calibration import ModelCalibration
 from ..hw.adc import Adc12
@@ -27,6 +27,9 @@ from ..sim.trace import TraceRecorder
 from ..tinyos.components import Component
 from ..tinyos.scheduler import TaskScheduler
 from ..tinyos.timers import VirtualTimer
+
+if TYPE_CHECKING:
+    from ..obs.spans import SpanTracer
 
 
 class SamplingApplication(Component):
@@ -71,6 +74,10 @@ class SamplingApplication(Component):
         self._tick_cost = len(self.channels) * (
             calibration.mcu_costs.sample_acquisition
             + self.extra_cycles_per_channel())
+        #: Optional causal-span tracer (:mod:`repro.obs.spans`), with
+        #: the owning node's id (set by SensorNode.attach_spans).
+        self.spans: Optional["SpanTracer"] = None
+        self.spans_node: str = ""
         mac.payload_provider = self.next_payload
 
     # ------------------------------------------------------------------
@@ -120,6 +127,9 @@ class SamplingApplication(Component):
                              label=self._label_sample)
 
     def _acquire(self) -> None:
+        if self.spans is not None:
+            self.spans.note_sample(self.spans_node, self._sim.now,
+                                   self._tick_cost)
         read_channel = self._asic.read_channel
         convert = self._adc.convert
         codes = tuple([convert(read_channel(c)) for c in self.channels])

@@ -31,7 +31,12 @@ Telemetry (see ``docs/observability.md``): ``--metrics PATH`` writes a
 metrics snapshot (JSON, or Prometheus text when PATH ends in
 ``.prom``), ``--trace-jsonl PATH`` streams the event trace as JSON
 lines (single-scenario commands), and ``--profile`` times event
-callbacks and prints the hottest labels.
+callbacks and prints the hottest labels.  Causal spans (see
+``docs/observability.md``): the ``spans`` subcommand runs a scenario
+and prints the per-packet latency/energy attribution report, while
+``--spans PATH`` / ``--spans-perfetto PATH`` export the span set as
+JSON lines or Chrome/Perfetto ``trace_event`` JSON from any
+simulating command.
 """
 
 from __future__ import annotations
@@ -66,10 +71,17 @@ from .obs import (
     MetricsRegistry,
     SimulationProfiler,
     SinkTraceRecorder,
+    SpanStore,
+    SpanTracer,
     attach_periodic_snapshots,
+    attach_span_tracer,
+    attribution_report,
     collect_cache_metrics,
     collect_scenario_metrics,
     collect_simulator_metrics,
+    rollup_spans,
+    write_perfetto,
+    write_spans_jsonl,
 )
 
 #: Named batteries selectable from the command line.
@@ -113,6 +125,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         metavar="S",
                         help="sim-time period of trajectory snapshots "
                              "recorded with --metrics (default 5)")
+    parser.add_argument("--spans", metavar="PATH", default=None,
+                        help="export causal spans as JSON lines "
+                             "(see docs/observability.md)")
+    parser.add_argument("--spans-perfetto", metavar="PATH", default=None,
+                        help="export causal spans as Chrome/Perfetto "
+                             "trace_event JSON (open in ui.perfetto.dev)")
 
 
 class _Observability:
@@ -133,6 +151,13 @@ class _Observability:
         self.profiler = (SimulationProfiler()
                          if getattr(args, "profile", False) else None)
         self._sink: Optional[JsonlTraceSink] = None
+        self.spans_path = getattr(args, "spans", None)
+        self.perfetto_path = getattr(args, "spans_perfetto", None)
+        want_spans = (self.spans_path is not None
+                      or self.perfetto_path is not None
+                      or getattr(args, "command", None) == "spans")
+        self.span_store: Optional[SpanStore] = (SpanStore() if want_spans
+                                                else None)
 
     def make_trace(self, trace_capacity: Optional[int] = None
                    ) -> Optional[SinkTraceRecorder]:
@@ -154,6 +179,17 @@ class _Observability:
         if self.profiler is not None:
             sim.profiler = self.profiler
 
+    def attach_spans(self, scenario,
+                     tracer: Optional[SpanTracer] = None) -> SpanTracer:
+        """Wire a span tracer through one in-process scenario.
+
+        Feeds the shared :class:`SpanStore`; pass ``tracer`` to reuse
+        one tracer across scenarios on a shared channel (multi-BAN).
+        """
+        if tracer is None:
+            tracer = SpanTracer(self.span_store)
+        return attach_span_tracer(scenario, tracer)
+
     def collect(self, scenario) -> None:
         """Pull a finished scenario's models into the registry."""
         if self.registry is None:
@@ -174,6 +210,18 @@ class _Observability:
             self._sink.close()
             print(f"wrote {self.trace_path} "
                   f"({self._sink.emitted} trace records)")
+        if self.span_store is not None:
+            if registry is not None:
+                rollup_spans(self.span_store, registry)
+            if self.spans_path is not None:
+                count = write_spans_jsonl(self.span_store,
+                                          self.spans_path)
+                print(f"wrote {self.spans_path} ({count} spans)")
+            if self.perfetto_path is not None:
+                count = write_perfetto(self.span_store,
+                                       self.perfetto_path)
+                print(f"wrote {self.perfetto_path} "
+                      f"({count} trace events)")
         if registry is not None:
             exported = (registry.to_prometheus()
                         if self.metrics_path.endswith(".prom")
@@ -188,7 +236,8 @@ class _Observability:
     def note_analytic(self) -> None:
         """Warn once when telemetry flags hit an analytic command."""
         if (self.metrics_path or self.trace_path
-                or self.profiler is not None):
+                or self.profiler is not None
+                or self.span_store is not None):
             print("note: telemetry flags are ignored by analytic "
                   "commands (nothing is simulated)")
 
@@ -211,6 +260,7 @@ def _executor_from_args(args: argparse.Namespace,
         jobs=jobs, cache=cache,
         metrics=obs.registry if obs is not None else None,
         profiler=obs.profiler if obs is not None else None,
+        spans=obs.span_store if obs is not None else None,
         isolate_errors=args.isolate_errors,
         timeout_s=args.scenario_timeout,
         retries=args.retries)
@@ -288,6 +338,16 @@ def build_parser() -> argparse.ArgumentParser:
                             help="export per-node records as JSON")
     run_parser.add_argument("--vcd", metavar="PATH", default=None,
                             help="dump power-state waveforms as VCD")
+
+    spans_parser = sub.add_parser(
+        "spans", help="causal span tracing: run a scenario and print "
+                      "the per-packet latency/energy attribution "
+                      "report")
+    _add_common(spans_parser)
+    add_scenario_flags(spans_parser)
+    spans_parser.add_argument(
+        "--join", action="store_true",
+        help="exercise the over-the-air join protocol")
 
     explain_parser = sub.add_parser(
         "explain", help="closed-form analytic energy derivation")
@@ -401,6 +461,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     scenario = BanScenario(
         config, trace=obs.make_trace(config.trace_capacity))
     obs.attach(scenario.sim, scenario)
+    if obs.span_store is not None:
+        obs.attach_spans(scenario)
     probe = (WaveformProbe.attach_to_scenario(scenario)
              if args.vcd else None)
     result = scenario.run()
@@ -454,6 +516,20 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_spans(args: argparse.Namespace) -> int:
+    obs = _Observability(args)
+    config = _scenario_config(args, join_protocol=args.join)
+    scenario = BanScenario(
+        config, trace=obs.make_trace(config.trace_capacity))
+    obs.attach(scenario.sim, scenario)
+    tracer = obs.attach_spans(scenario)
+    scenario.run()
+    obs.collect(scenario)
+    print(attribution_report(tracer.store, scenario))
+    obs.finish()
+    return 0
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     _Observability(args).note_analytic()
     print(explain_analytic(_scenario_config(args)))
@@ -488,6 +564,10 @@ def _cmd_interference(args: argparse.Namespace) -> int:
     multi = MultiBanScenario(configs, stagger_ms=args.stagger_ms,
                              seed=args.seed, trace=obs.make_trace())
     obs.attach(multi.sim)
+    if obs.span_store is not None:
+        tracer = SpanTracer(obs.span_store)
+        for ban in multi.bans:
+            obs.attach_spans(ban, tracer)
     results = multi.run()
     if obs.registry is not None:
         for ban in multi.bans:
@@ -556,6 +636,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _cmd_validate(args)
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "spans":
+        return _cmd_spans(args)
     if args.command == "explain":
         return _cmd_explain(args)
     if args.command == "baseline":

@@ -225,6 +225,18 @@ class PowerStateLedger:
             out[s] = out.get(s, 0.0) + to_seconds(ticks)
         return out
 
+    def iv_coeff(self, state: str) -> float:
+        """The I*Vdd power coefficient [W] for ``state``.
+
+        This is the exact float every energy query multiplies by
+        time-in-state, exposed so derived attributions (the spans
+        layer's per-phase energies) can use the identical expression
+        and differ from ledger totals only by float addition order.
+        """
+        if state not in self._iv_coeff:
+            self.table[state]  # raises the canonical unknown-state error
+        return self._iv_coeff[state]
+
     def energy_by_state(self) -> Dict[str, float]:
         """Energy in joules per state name."""
         out: Dict[str, float] = {}

@@ -70,6 +70,7 @@ from .errors import ErrorResult, ScenarioTimeoutError, timeout_result
 if TYPE_CHECKING:  # imported lazily at runtime (workers build their own)
     from ..obs.metrics import MetricsRegistry
     from ..obs.profiler import SimulationProfiler
+    from ..obs.spans import SpanStore
 
 
 def _run_config_worker(config: Any) -> Any:
@@ -78,13 +79,17 @@ def _run_config_worker(config: Any) -> Any:
     return BanScenario(config).run()
 
 
-def _run_config_worker_obs(config: Any, profile: bool = False
-                           ) -> Tuple[Any, dict, Optional[dict]]:
+def _run_config_worker_obs(config: Any, profile: bool = False,
+                           spans: bool = False
+                           ) -> Tuple[Any, dict, Optional[dict],
+                                      Optional[dict]]:
     """Run one scenario instrumented; ship snapshots, not objects.
 
-    Returns ``(result, metrics_snapshot, profiler_snapshot)``.  The
-    worker builds a private registry so merging in the parent is a
-    pure, order-independent fold over plain dicts.
+    Returns ``(result, metrics_snapshot, profiler_snapshot,
+    spans_snapshot)``.  The worker builds a private registry (and,
+    with ``spans``, a private :class:`~repro.obs.spans.SpanStore`) so
+    merging in the parent is a pure, order-preserving fold over plain
+    dicts.
     """
     from ..net.scenario import BanScenario
     from ..obs import (GLOBAL, MetricsRegistry, SimulationProfiler,
@@ -95,6 +100,10 @@ def _run_config_worker_obs(config: Any, profile: bool = False
     profiler = SimulationProfiler() if profile else None
     if profiler is not None:
         scenario.sim.profiler = profiler
+    tracer = None
+    if spans:
+        from ..obs.spans import attach_span_tracer
+        tracer = attach_span_tracer(scenario)
     started = perf_counter()
     result = scenario.run()
     wall_s = perf_counter() - started
@@ -102,7 +111,8 @@ def _run_config_worker_obs(config: Any, profile: bool = False
     collect_simulator_metrics(scenario.sim, registry)
     registry.histogram("exec", GLOBAL, "scenario_wall_s").observe(wall_s)
     return (result, registry.snapshot(),
-            profiler.snapshot() if profiler is not None else None)
+            profiler.snapshot() if profiler is not None else None,
+            tracer.store.snapshot() if tracer is not None else None)
 
 
 def default_jobs() -> int:
@@ -133,6 +143,11 @@ class ScenarioExecutor:
         profiler: optional
             :class:`~repro.obs.profiler.SimulationProfiler` merging the
             per-scenario callback timings (implies instrumented runs).
+        spans: optional :class:`~repro.obs.spans.SpanStore`; when
+            given, every fresh run is traced with a private store and
+            the snapshots merge here in submission order (rebased span
+            IDs), so ``jobs=N`` span output equals sequential.  Like
+            metrics, cache hits contribute no spans.
         isolate_errors: when True, an item whose evaluation raises (or
             times out) yields an :class:`ErrorResult` in its slot and
             the rest of the batch completes; when False (default), the
@@ -152,6 +167,7 @@ class ScenarioExecutor:
                  cache: Optional[ResultCache] = None,
                  metrics: Optional["MetricsRegistry"] = None,
                  profiler: Optional["SimulationProfiler"] = None,
+                 spans: Optional["SpanStore"] = None,
                  isolate_errors: bool = False,
                  timeout_s: Optional[float] = None,
                  retries: int = 0) -> None:
@@ -165,6 +181,7 @@ class ScenarioExecutor:
         self.cache = cache
         self.metrics = metrics
         self.profiler = profiler
+        self.spans = spans
         self.isolate_errors = isolate_errors
         self.timeout_s = timeout_s
         self.retries = retries
@@ -309,11 +326,14 @@ class ScenarioExecutor:
         cache hits contribute no scenario metrics.
         """
         configs = list(configs)
-        observed = self.metrics is not None or self.profiler is not None
+        observed = (self.metrics is not None
+                    or self.profiler is not None
+                    or self.spans is not None)
         worker: Callable[[Any], Any] = _run_config_worker
         if observed:
             worker = partial(_run_config_worker_obs,
-                             profile=self.profiler is not None)
+                             profile=self.profiler is not None,
+                             spans=self.spans is not None)
         cache = self.cache
         batch_started = perf_counter()
 
@@ -353,14 +373,18 @@ class ScenarioExecutor:
     # ------------------------------------------------------------------
     # Observability plumbing
     # ------------------------------------------------------------------
-    def _absorb_observed(self, packed: Tuple[Any, dict, Optional[dict]]
+    def _absorb_observed(self, packed: Tuple[Any, dict, Optional[dict],
+                                             Optional[dict]]
                          ) -> Any:
         """Merge one worker's snapshots; return the bare result."""
-        result, metrics_snapshot, profiler_snapshot = packed
+        result, metrics_snapshot, profiler_snapshot, spans_snapshot \
+            = packed
         if self.metrics is not None:
             self.metrics.merge_snapshot(metrics_snapshot)
         if self.profiler is not None and profiler_snapshot is not None:
             self.profiler.merge_snapshot(profiler_snapshot)
+        if self.spans is not None and spans_snapshot is not None:
+            self.spans.merge_snapshot(spans_snapshot)
         return result
 
     def _record_batch_metrics(self, total: int, fresh: int,

@@ -41,6 +41,7 @@ from .frames import Frame, FrameKind
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
     from ..core.report import TrafficCounters
     from ..obs.metrics import MetricsRegistry
+    from ..obs.spans import SpanTracer
     from ..phy.channel import Channel, Transmission
 
 #: Radio power-state names.
@@ -127,6 +128,9 @@ class Nrf2401:
         self.fault_drop_beacons = 0
         #: Frames lost to the two injected receive-path faults above.
         self.fault_frames_dropped = 0
+        #: Optional causal-span tracer (:mod:`repro.obs.spans`); hooks
+        #: are plain calls, so None costs one attribute test.
+        self.spans: Optional["SpanTracer"] = None
 
         self._rx_since: Optional[int] = None
         self._tx_busy = False
@@ -295,6 +299,8 @@ class Nrf2401:
         if self._trace is not None:
             self._trace.record(self._sim.now, self.name, "tx_start",
                                frame.describe())
+        if self.spans is not None:
+            self.spans.tx_start(frame, self._sim.now)
         self._sim.after(self._tx_settle_ticks,
                         lambda: self._begin_air(frame, on_complete),
                         label=self._label_txair)
@@ -326,6 +332,8 @@ class Nrf2401:
         if self._trace is not None:
             self._trace.record(self._sim.now, self.name, "tx_done",
                                outcome.frame.describe())
+        if self.spans is not None:
+            self.spans.tx_finish(outcome, self._sim.now)
         if on_complete is not None:
             on_complete(outcome)
 
@@ -380,21 +388,32 @@ class Nrf2401:
                 and frame.kind is FrameKind.BEACON):
             self.fault_drop_beacons -= 1
             faulted = True
+        spans = self.spans
+        end = transmission.end_time
         if faulted:
             # Injected receive-path fault: lost inside the radio like a
             # CRC failure — the energy is spent, the MCU stays asleep.
             self.fault_frames_dropped += 1
             self.accountant.book(RadioEnergyCategory.COLLISION, rx_energy)
             self._count_corrupted += 1
+            if spans is not None:
+                spans.rx_outcome(frame, self.address, start, end,
+                                 "fault_dropped")
             return
         if corrupted and self.crc_enabled:
             self.accountant.book(RadioEnergyCategory.COLLISION, rx_energy)
             self._count_corrupted += 1
+            if spans is not None:
+                spans.rx_outcome(frame, self.address, start, end,
+                                 "corrupted")
             return
         if not frame.addressed_to(self.address) \
                 and self.address_filter_enabled:
             self.accountant.book(RadioEnergyCategory.OVERHEARING, rx_energy)
             self._count_overheard += 1
+            if spans is not None:
+                spans.rx_outcome(frame, self.address, start, end,
+                                 "overheard")
             return
         # Frame is handed to software (possibly corrupted, if CRC is off;
         # possibly other-addressed, if the address filter is off).
@@ -405,6 +424,8 @@ class Nrf2401:
             self.accountant.book(RadioEnergyCategory.DATA_RX, rx_energy)
             self._count_data_rx += 1
         transmission.delivered_to.append(self.address)
+        if spans is not None:
+            spans.rx_outcome(frame, self.address, start, end, "delivered")
         if self.on_frame is not None:
             self.on_frame(frame)
 

@@ -41,6 +41,7 @@ from .messages import make_data
 
 if TYPE_CHECKING:
     from ..obs.metrics import MetricsRegistry
+    from ..obs.spans import SpanTracer
 
 
 @dataclass(frozen=True)
@@ -84,6 +85,8 @@ class AlohaNodeMac(Component):
         #: Application hook, identical contract to the TDMA MACs.
         self.payload_provider: Optional[Callable[[], Optional[AppPayload]]] \
             = None
+        #: Optional causal-span tracer (:mod:`repro.obs.spans`).
+        self.spans: Optional["SpanTracer"] = None
 
     # The scenario runner aligns measurement windows via these two
     # attributes on any base MAC; nodes expose the poll interval for
@@ -119,13 +122,20 @@ class AlohaNodeMac(Component):
         offset = self._sim.rng.uniform_ticks(
             f"{self._radio.address}.aloha_tx", 0,
             max(0, interval - self._radio.tx_event_ticks(frame)))
-        self._sim.after(
-            offset,
-            lambda: self._scheduler.post(
-                lambda: self._radio.send(frame, self._tx_done),
-                self._cal.mcu_costs.packet_preparation,
-                label=f"{self.name}.pkt_prep"),
-            label=f"{self.name}.tx_at")
+        if self.spans is not None:
+            self.spans.note_wait(self._radio.address, "mac.tx_jitter",
+                                 self._sim.now, self._sim.now + offset)
+        self._sim.after(offset, lambda: self._queue_tx(frame),
+                        label=f"{self.name}.tx_at")
+
+    def _queue_tx(self, frame: Frame) -> None:
+        label = f"{self.name}.pkt_prep"
+        if self.spans is not None:
+            self.spans.packet_queued(frame, self._sim.now, label)
+        self._scheduler.post(
+            lambda: self._radio.send(frame, self._tx_done),
+            self._cal.mcu_costs.packet_preparation,
+            label=label)
 
     def _tx_done(self, outcome: TxOutcome) -> None:
         self.counters.data_sent += 1

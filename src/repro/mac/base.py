@@ -54,6 +54,7 @@ from .sync import SyncPolicy
 
 if TYPE_CHECKING:
     from ..obs.metrics import MetricsRegistry
+    from ..obs.spans import SpanTracer
 
 #: A payload the application hands to the MAC: (on-air bytes, content).
 AppPayload = Tuple[int, object]
@@ -171,6 +172,8 @@ class NodeMac(Component):
         #: Application hook: called (with the BeaconPayload) after each
         #: received beacon, from task context.
         self.on_beacon: Optional[Callable[[BeaconPayload], None]] = None
+        #: Optional causal-span tracer (:mod:`repro.obs.spans`).
+        self.spans: Optional["SpanTracer"] = None
 
         self._slot: Optional[int] = preassigned_slot
         self._cycle_ticks: Optional[int] = None
@@ -587,6 +590,9 @@ class NodeMac(Component):
         if tx_time <= self._sim.now:
             return  # the slot is already past (late join mid-cycle)
         self._next_slot_time = tx_time
+        if self.spans is not None:
+            self.spans.note_wait(self._radio.address, "mac.slot_wait",
+                                 self._sim.now, tx_time)
         self._sim.at(tx_time, self._slot_fired, label=self._label_slot)
 
     def _slot_fired(self) -> None:
@@ -602,6 +608,9 @@ class NodeMac(Component):
         payload_bytes, content = payload
         frame = make_data(self._radio.address, self._bs,
                           payload_bytes, content)
+        if self.spans is not None:
+            self.spans.packet_queued(frame, self._sim.now,
+                                     self._label_pkt_prep)
         # The MCU prepares the packet and clocks it into the radio FIFO;
         # the ShockBurst event itself starts when the task body runs.
         self._scheduler.post(
@@ -628,6 +637,9 @@ class NodeMac(Component):
         if self._recovery is not None and self._supports_ssr_backoff:
             self._ssr_skip_remaining = \
                 self._recovery.ssr_skip_cycles(self._ssr_attempts)
+        if self.spans is not None:
+            self.spans.packet_queued(frame, self._sim.now,
+                                     self._label_ssr)
         self._scheduler.post(
             lambda: self._radio.send(frame),
             self._cal.mcu_costs.packet_preparation,
@@ -659,6 +671,8 @@ class BaseStationMac(Component):
         self.counters = MacCounters()
         #: Upward hook: called with each received data Frame.
         self.data_sink: Optional[Callable[[Frame], None]] = None
+        #: Optional causal-span tracer (:mod:`repro.obs.spans`).
+        self.spans: Optional["SpanTracer"] = None
         #: Absolute time of the next beacon (kept current for scenario
         #: alignment and diagnostics).
         self.next_beacon_ticks = first_beacon_ticks
@@ -739,6 +753,9 @@ class BaseStationMac(Component):
         frame = make_beacon(self._radio.address, payload)
         if self._radio.is_receiving:
             self._radio.stop_rx()
+        if self.spans is not None:
+            self.spans.packet_queued(frame, self._sim.now,
+                                     self._label_beacon_prep)
         self._scheduler.post(
             lambda: self._radio.send(frame, self._beacon_sent),
             self._cal.mcu_costs.packet_preparation,

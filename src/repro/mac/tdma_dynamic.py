@@ -131,6 +131,9 @@ class DynamicTdmaNodeMac(NodeMac):
         earliest = max(earliest, self._sim.now)
         request_time = self._sim.rng.uniform_ticks(
             f"{self._radio.address}.es", earliest, latest)
+        if self.spans is not None:
+            self.spans.note_wait(self._radio.address, "mac.ssr_wait",
+                                 self._sim.now, request_time)
         self._sim.at(request_time,
                      lambda: self._send_slot_request(wanted_slot=None),
                      label=f"{self.name}.ssr_es")

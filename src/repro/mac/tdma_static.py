@@ -109,6 +109,9 @@ class StaticTdmaNodeMac(NodeMac):
         request_time = beacon_start + offset
         if request_time <= self._sim.now:
             return  # chosen slot already past this cycle; retry next one
+        if self.spans is not None:
+            self.spans.note_wait(self._radio.address, "mac.ssr_wait",
+                                 self._sim.now, request_time)
         self._sim.at(request_time,
                      lambda: self._send_slot_request(wanted_slot=wanted),
                      label=f"{self.name}.ssr_slot")

@@ -9,7 +9,7 @@ in-memory sink the experiments inspect.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from ..core.calibration import ModelCalibration
 from ..core.report import NodeEnergyResult
@@ -22,6 +22,9 @@ from ..sim.simtime import to_seconds
 from ..sim.trace import TraceRecorder
 from ..tinyos.components import Component, ComponentStack
 from ..tinyos.scheduler import TaskScheduler
+
+if TYPE_CHECKING:
+    from ..obs.spans import SpanTracer
 
 
 class BaseStation:
@@ -59,6 +62,24 @@ class BaseStation:
     def start(self) -> None:
         """Start the base-station stack."""
         self.stack.start_all()
+
+    def attach_spans(self, tracer: "SpanTracer") -> None:
+        """Point the base station's span hooks at ``tracer``.
+
+        Same contract as :meth:`SensorNode.attach_spans`: ledger
+        coefficients bound, ``spans`` set on scheduler, radio and MAC.
+        """
+        from ..hw.mcu import ACTIVE
+        from ..hw.radio import RX, TX
+        tracer.bind_node(self.address,
+                         mcu_active_w=self.mcu.ledger.iv_coeff(ACTIVE),
+                         radio_tx_w=self.radio.ledger.iv_coeff(TX),
+                         radio_rx_w=self.radio.ledger.iv_coeff(RX),
+                         mcu_clock_hz=self.calibration.mcu_clock_hz)
+        self.scheduler.spans = tracer
+        self.radio.spans = tracer
+        if self.mac is not None:
+            setattr(self.mac, "spans", tracer)
 
     def _deliver(self, frame: Frame) -> None:
         self.received.setdefault(frame.src, []).append(frame)

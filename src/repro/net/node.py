@@ -9,7 +9,7 @@ end of a run it freezes the ledgers, attributions and counters into a
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..core.calibration import ModelCalibration
 from ..core.report import NodeEnergyResult
@@ -22,6 +22,9 @@ from ..sim.kernel import Simulator
 from ..sim.trace import TraceRecorder
 from ..tinyos.components import Component, ComponentStack
 from ..tinyos.scheduler import TaskScheduler
+
+if TYPE_CHECKING:
+    from ..obs.spans import SpanTracer
 
 
 class SensorNode:
@@ -70,6 +73,28 @@ class SensorNode:
     def start(self) -> None:
         """Start every installed component, bottom-up."""
         self.stack.start_all()
+
+    def attach_spans(self, tracer: "SpanTracer") -> None:
+        """Point every layer's span hook at ``tracer``.
+
+        Binds this node's ledger power coefficients (the exact I*Vdd
+        floats the energy queries use) and sets the ``spans`` attribute
+        on the scheduler, radio, MAC and application.
+        """
+        from ..hw.mcu import ACTIVE
+        from ..hw.radio import RX, TX
+        tracer.bind_node(self.node_id,
+                         mcu_active_w=self.mcu.ledger.iv_coeff(ACTIVE),
+                         radio_tx_w=self.radio.ledger.iv_coeff(TX),
+                         radio_rx_w=self.radio.ledger.iv_coeff(RX),
+                         mcu_clock_hz=self.calibration.mcu_clock_hz)
+        self.scheduler.spans = tracer
+        self.radio.spans = tracer
+        if self.mac is not None:
+            setattr(self.mac, "spans", tracer)
+        if self.app is not None:
+            setattr(self.app, "spans", tracer)
+            setattr(self.app, "spans_node", self.node_id)
 
     # ------------------------------------------------------------------
     # Measurement

@@ -21,7 +21,7 @@ Measurement methodology (matching the paper's Section 5 setup):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from ..apps.adaptive import AdaptiveCardiacApp
 from ..apps.ecg_streaming import EcgStreamingApp, codes_per_payload
@@ -48,6 +48,9 @@ from ..sim.simtime import milliseconds, seconds
 from ..sim.trace import TraceRecorder
 from .basestation import BaseStation
 from .node import SensorNode
+
+if TYPE_CHECKING:
+    from ..obs.spans import SpanTracer
 
 #: Supported MAC identifiers.
 MACS = ("static", "dynamic", "aloha")
@@ -250,6 +253,10 @@ class BanScenario:
         self.ecg_sources: Dict[str, SyntheticEcg] = {}
         #: Armed fault injector (None when the config has no faults).
         self.fault_injector: Optional[FaultInjector] = None
+        #: Causal-span tracer, installed by
+        #: :func:`repro.obs.spans.attach_span_tracer`; reset_all drops
+        #: its warm-up spans alongside the ledgers.
+        self.span_tracer: Optional["SpanTracer"] = None
         self._build()
         if config.faults:
             self.fault_injector = FaultInjector(self, config.faults)
@@ -456,6 +463,8 @@ class BanScenario:
         self.base_station.reset_measurement()
         for node in self.nodes:
             node.reset_measurement()
+        if self.span_tracer is not None:
+            self.span_tracer.reset()
 
     def collect(self, horizon_s: Optional[float] = None
                 ) -> NetworkEnergyResult:

@@ -16,7 +16,10 @@ and export after it:
   event labels and reports sim-seconds-per-wall-second;
 * :mod:`repro.obs.instrument` — pull collectors reading the kernel,
   MACs, radios, MCUs and caches into a registry, and periodic
-  on-sim-timer snapshots for trajectories.
+  on-sim-timer snapshots for trajectories;
+* :mod:`repro.obs.spans` — causal span tracing: per-packet lifecycle
+  phases with sim-time intervals and ledger-exact energy attribution,
+  mergeable across workers, exportable as JSONL or Perfetto JSON.
 
 Everything is opt-in: a run without a registry/profiler/sink executes
 byte-identical code, and even instrumented runs never perturb event
@@ -49,6 +52,19 @@ from .sinks import (
     TraceSink,
     read_jsonl_trace,
 )
+from .spans import (
+    Span,
+    SpanStore,
+    SpanTracer,
+    attach_span_tracer,
+    attribution_report,
+    reconcile_spans,
+    rollup_spans,
+    spans_to_sink,
+    to_perfetto,
+    write_perfetto,
+    write_spans_jsonl,
+)
 
 __all__ = [
     "MetricsRegistry", "Counter", "Gauge", "Histogram", "StateTimer",
@@ -59,4 +75,8 @@ __all__ = [
     "collect_simulator_metrics", "collect_scenario_metrics",
     "collect_cache_metrics", "attach_periodic_snapshots",
     "PeriodicSnapshotter",
+    "Span", "SpanStore", "SpanTracer", "attach_span_tracer",
+    "spans_to_sink", "write_spans_jsonl", "to_perfetto",
+    "write_perfetto", "rollup_spans", "reconcile_spans",
+    "attribution_report",
 ]

@@ -311,34 +311,52 @@ class MetricsRegistry:
         Counters/gauges become ``<prefix>_<name>{component=...,node=...}``
         samples; histograms emit ``_bucket``/``_sum``/``_count``
         families; state timers emit one sample per state.  Series are
-        omitted (Prometheus scrapes are point-in-time).
+        omitted (Prometheus scrapes are point-in-time).  Each metric
+        family gets one ``# HELP`` + ``# TYPE`` header (emitted before
+        its first sample, never repeated), and label values are escaped
+        per the exposition format (backslash, double quote, newline).
         """
         lines: List[str] = []
+        headed: Dict[str, str] = {}
+
+        def header(name: str, kind: str, help_text: str) -> None:
+            family = f"{prefix}_{_prom_name(name)}"
+            if family in headed:
+                return
+            headed[family] = kind
+            lines.append(f"# HELP {family} {_prom_escape(help_text)}")
+            lines.append(f"# TYPE {family} {kind}")
 
         def sample(name: str, labels: Dict[str, str], value) -> str:
-            body = ",".join(f'{k}="{v}"' for k, v in labels.items())
+            body = ",".join(f'{k}="{_prom_escape(v)}"'
+                            for k, v in labels.items())
             return f"{prefix}_{_prom_name(name)}{{{body}}} {value}"
 
         for key, counter in sorted(self._counters.items()):
             component, node, name = split_key(key)
-            lines.append(f"# TYPE {prefix}_{_prom_name(name)} counter")
+            header(name, "counter",
+                   f"monotonic count '{name}' by component/node")
             lines.append(sample(name, {"component": component,
                                        "node": node}, counter.value))
         for key, gauge in sorted(self._gauges.items()):
             component, node, name = split_key(key)
-            lines.append(f"# TYPE {prefix}_{_prom_name(name)} gauge")
+            header(name, "gauge",
+                   f"point-in-time value '{name}' by component/node")
             lines.append(sample(name, {"component": component,
                                        "node": node}, gauge.value))
         for key, timer in sorted(self._state_timers.items()):
             component, node, name = split_key(key)
-            lines.append(f"# TYPE {prefix}_{_prom_name(name)} gauge")
+            header(name, "gauge",
+                   f"per-state accumulator '{name}' "
+                   "by component/node/state")
             for state, amount in sorted(timer.states.items()):
                 lines.append(sample(name, {"component": component,
                                            "node": node, "state": state},
                                     amount))
         for key, histogram in sorted(self._histograms.items()):
             component, node, name = split_key(key)
-            lines.append(f"# TYPE {prefix}_{_prom_name(name)} histogram")
+            header(name, "histogram",
+                   f"weighted distribution '{name}' by component/node")
             cumulative = 0.0
             for bound, weight in zip(histogram.bounds,
                                      histogram.bucket_weights):
@@ -364,6 +382,14 @@ def _prom_name(name: str) -> str:
     """Sanitise a metric name for Prometheus (``[a-zA-Z0-9_]``)."""
     return "".join(ch if ch.isalnum() or ch == "_" else "_"
                    for ch in name)
+
+
+def _prom_escape(value: str) -> str:
+    """Escape a label value (or help text) for the exposition format:
+    backslash, double quote and newline must be backslash-escaped or
+    the line structure of the scrape breaks."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
 
 
 __all__ = ["Counter", "Gauge", "Histogram", "StateTimer", "Series",

@@ -67,25 +67,49 @@ class JsonlTraceSink(TraceSink):
         self.emitted += 1
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        handle = self._handle
+        if handle is None:
+            return
+        self._handle = None
+        try:
+            handle.flush()
+        finally:
+            handle.close()
 
     def __enter__(self) -> "JsonlTraceSink":
         return self
 
     def __exit__(self, *exc_info) -> None:
+        # Runs on exceptional unwind too: everything emitted before the
+        # exception is flushed to disk, so post-mortems see the trace
+        # up to the failure point.
         self.close()
 
 
 def read_jsonl_trace(path: str) -> List[dict]:
-    """Parse a :class:`JsonlTraceSink` file back into record dicts."""
-    records = []
+    """Parse a :class:`JsonlTraceSink` file back into record dicts.
+
+    A truncated *final* line — the signature of an interrupted writer
+    (crash, kill, full disk) — is tolerated: instead of raising, the
+    returned list ends with a ``{"warning": "truncated final line
+    skipped", "raw": <text>}`` entry.  A malformed line with valid
+    records after it still raises: that is corruption, not truncation.
+    """
+    records: List[dict] = []
     with open(path) as handle:
-        for line in handle:
-            line = line.strip()
-            if line:
-                records.append(json.loads(line))
+        lines = handle.read().split("\n")
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        try:
+            records.append(json.loads(stripped))
+        except json.JSONDecodeError:
+            if any(rest.strip() for rest in lines[index + 1:]):
+                raise
+            records.append({"warning": "truncated final line skipped",
+                            "raw": stripped})
+            break
     return records
 
 

@@ -32,6 +32,7 @@ from ..hw.frames import Frame
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..hw.radio import Nrf2401, TxOutcome
+    from ..obs.spans import SpanTracer
 
 
 @dataclass(slots=True)
@@ -85,6 +86,8 @@ class Channel:
         self._live: Dict[int, Transmission] = {}
         self._collisions_detected = 0
         self._frames_sent = 0
+        #: Optional causal-span tracer (:mod:`repro.obs.spans`).
+        self.spans: Optional["SpanTracer"] = None
 
     # ------------------------------------------------------------------
     # Attachment
@@ -145,6 +148,8 @@ class Channel:
         if self._trace is not None:
             self._trace.record(now, "channel", "air_start",
                                frame.describe())
+        if self.spans is not None:
+            self.spans.air_begin(frame, now)
         loss_model = self.loss_model
         # A model that never overrides is_corrupted (the lossless base
         # behaviour) needs no per-receiver draw at all.
@@ -182,6 +187,8 @@ class Channel:
         if self._trace is not None:
             self._trace.record(self._sim.now, "channel", "air_end",
                                frame.describe())
+        if self.spans is not None:
+            self.spans.air_end(frame, self._sim.now)
         inflight_at = self._inflight_at
         corrupted_at = transmission.corrupted_at
         for receiver in transmission.receivers:

@@ -20,13 +20,16 @@ the energy accounting coherent: MCU active time == time executing tasks
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional
+from typing import Callable, Deque, Optional, TYPE_CHECKING
 
 from ..hw.mcu import Msp430
 from ..sim.kernel import Simulator
 from ..sim.trace import TraceRecorder
 from .power import DeepSleepPolicy, Lpm0Only
 from .tasks import Task
+
+if TYPE_CHECKING:  # pragma: no cover - type-only import
+    from ..obs.spans import SpanTracer
 
 
 class TaskScheduler:
@@ -52,6 +55,8 @@ class TaskScheduler:
         #: the node assembly when a deep-sleep policy is in use.
         self.wake_hint_provider: Optional[Callable[[], Optional[int]]] \
             = None
+        #: Optional causal-span tracer (:mod:`repro.obs.spans`).
+        self.spans: Optional["SpanTracer"] = None
 
     # ------------------------------------------------------------------
     # Posting
@@ -123,6 +128,8 @@ class TaskScheduler:
                                f"{task.label}#{task.task_id} "
                                f"({cycles} cyc)")
         duration = mcu.cycles_to_ticks(cycles)
+        if self.spans is not None:
+            self.spans.task_started(task.label, self._sim.now, duration)
         # The body's side effects happen at task start; the MCU then
         # stays active for the task's duration before the next dispatch.
         task.body()

@@ -16,6 +16,10 @@ checks, each over a reference scenario set:
    state timers (sim-time quantities; wall-clock histograms/gauges are
    explicitly out of scope) must be equal for ``jobs=1`` and
    ``jobs=2``.
+4. **Causal spans** — attaching a span tracer must not perturb the
+   run (result and trace fingerprints equal the spans-off run), the
+   span set must be bit-identical across repeat runs, and the merged
+   ``--jobs N`` span store must equal the sequential one.
 
 Fingerprints are SHA-256 over the result cache's canonical dataclass
 encoding (:func:`repro.exec.cache.config_fingerprint`), so "equal"
@@ -40,7 +44,7 @@ from typing import Any, Dict, List, Tuple
 from repro.exec import ScenarioExecutor
 from repro.exec.cache import config_fingerprint
 from repro.net import BanScenario, BanScenarioConfig
-from repro.obs import MetricsRegistry
+from repro.obs import MetricsRegistry, SpanStore, attach_span_tracer
 from repro.sim.trace import TraceRecorder
 
 
@@ -63,17 +67,24 @@ def result_fingerprint(result: Any) -> str:
     return hashlib.sha256(text.encode()).hexdigest()
 
 
-def traced_run(config: BanScenarioConfig) -> Tuple[str, str]:
-    """Run once with tracing; return (result_fp, trace_fp)."""
+def traced_run(config: BanScenarioConfig, spans: bool = False
+               ) -> Tuple[str, str, str]:
+    """Run once with tracing; return (result_fp, trace_fp, span_fp).
+
+    ``span_fp`` is the span-store fingerprint when ``spans`` is set
+    and ``""`` otherwise.
+    """
     trace = TraceRecorder()
     scenario = BanScenario(config, trace=trace)
+    tracer = attach_span_tracer(scenario) if spans else None
     result = scenario.run()
     digest = hashlib.sha256()
     for record in trace:
         digest.update(
             f"{record.time}|{record.source}|{record.kind}|"
             f"{record.detail}\n".encode())
-    return result_fingerprint(result), digest.hexdigest()
+    span_fp = tracer.store.fingerprint() if tracer is not None else ""
+    return result_fingerprint(result), digest.hexdigest(), span_fp
 
 
 def check_repeat_run(report: Dict[str, Any]) -> List[str]:
@@ -140,6 +151,43 @@ def check_jobs_equivalence(jobs: int, report: Dict[str, Any]
     return failures
 
 
+def check_spans(jobs: int, report: Dict[str, Any]) -> List[str]:
+    """Check 4: spans neither perturb nor vary (repeat + jobs merge)."""
+    failures = []
+    config = reference_configs()[1]
+    base = traced_run(config)
+    first = traced_run(config, spans=True)
+    second = traced_run(config, spans=True)
+    report["spans"] = {
+        "result_fingerprints": [base[0], first[0], second[0]],
+        "trace_fingerprints": [base[1], first[1], second[1]],
+        "span_fingerprints": [first[2], second[2]],
+    }
+    if (base[0], base[1]) != (first[0], first[1]):
+        failures.append(
+            "attaching spans perturbs the run (result or trace "
+            "fingerprint changed)")
+    if first[:2] != second[:2]:
+        failures.append("spans-enabled repeat runs diverge")
+    if first[2] != second[2]:
+        failures.append("repeat-run span sets diverge")
+
+    configs = reference_configs()
+    merged: Dict[int, str] = {}
+    for worker_count in (1, jobs):
+        store = SpanStore()
+        ScenarioExecutor(jobs=worker_count,
+                         spans=store).run_configs(configs)
+        merged[worker_count] = store.fingerprint()
+    report["spans"]["jobs_span_fingerprints"] = {
+        str(worker_count): fingerprint
+        for worker_count, fingerprint in sorted(merged.items())}
+    if merged[1] != merged[jobs]:
+        failures.append(
+            f"merged span sets diverge between jobs=1 and jobs={jobs}")
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="End-to-end determinism smoke "
@@ -156,6 +204,7 @@ def main(argv=None) -> int:
     failures = []
     failures += check_repeat_run(report["checks"])
     failures += check_jobs_equivalence(args.jobs, report["checks"])
+    failures += check_spans(args.jobs, report["checks"])
     report["ok"] = not failures
     report["failures"] = failures
 
@@ -167,8 +216,8 @@ def main(argv=None) -> int:
         for failure in failures:
             print(f"DETERMINISM BROKEN: {failure}", file=sys.stderr)
         return 1
-    print("determinism ok: repeat-run, jobs equivalence and merged "
-          "telemetry all bit-identical")
+    print("determinism ok: repeat-run, jobs equivalence, merged "
+          "telemetry and causal spans all bit-identical")
     return 0
 
 
