@@ -146,16 +146,19 @@ MCU_TRANSITIONS = TransitionSpec(
     ),
 )
 
-#: nRF2401 transceiver (``repro/hw/radio.py``).  RX and TX are entered
-#: only from stand-by (plus the RX -> TX ShockBurst mode switch); the
-#: chip must power up to stand-by before doing anything, which is why
-#: there is no ``power_down -> tx``/``rx`` edge.
+#: nRF2401 transceiver (``repro/hw/radio.py``).  RX, TX and the CCA
+#: sensing window are entered only from stand-by (plus the RX -> TX
+#: ShockBurst mode switch); the chip must power up to stand-by before
+#: doing anything, which is why there is no ``power_down -> tx``/``rx``
+#: edge.  ``cca`` is a bounded receive-chain dwell (carrier sense at RX
+#: current) that always returns to stand-by, except when a fault
+#: quiesces the radio mid-sense.
 RADIO_TRANSITIONS = TransitionSpec(
     component="radio",
     module="hw/radio.py",
     class_name="Nrf2401",
     initial="power_down",
-    states=("power_down", "standby", "tx", "rx"),
+    states=("power_down", "standby", "tx", "rx", "cca"),
     transitions=(
         ("power_down", "standby"),  # power_up()
         ("standby", "power_down"),  # power_down()
@@ -165,6 +168,9 @@ RADIO_TRANSITIONS = TransitionSpec(
         ("standby", "tx"),          # send() (ShockBurst event)
         ("rx", "tx"),               # send() mode switch mid-listen
         ("tx", "standby"),          # ShockBurst event complete
+        ("standby", "cca"),         # cca() carrier-sense window
+        ("cca", "standby"),         # sensing window complete
+        ("cca", "power_down"),      # power_down() mid-sense (faults)
     ),
     busy_flags=(("_tx_busy", ("tx",)),),
 )

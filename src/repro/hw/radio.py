@@ -12,6 +12,10 @@ The nRF2401 features the paper relies on (Sections 3.1 and 4.2):
 * **Hardware address filter**: frames addressed to another node are
   likewise dropped in the radio; the RX energy is still spent
   (overhearing), but the MCU stays asleep.
+* **Clear-channel assessment**: contention MACs (CSMA/CA) dwell the
+  receive chain for a short sensing window (:meth:`Nrf2401.cca`)
+  without decoding frames; the window costs RX current and reports
+  whether any transmission overlapped it.
 
 Both hardware filters can be disabled for ablation studies
 (:attr:`Nrf2401.crc_enabled`, :attr:`Nrf2401.address_filter_enabled`);
@@ -27,7 +31,7 @@ via the node's :class:`~repro.core.losses.LossAccountant`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, TYPE_CHECKING
+from typing import Callable, Dict, Optional, Set, TYPE_CHECKING
 
 from ..core.calibration import ModelCalibration
 from ..core.ledger import PowerStateLedger
@@ -49,6 +53,7 @@ POWER_DOWN = "power_down"
 STANDBY = "standby"
 TX = "tx"
 RX = "rx"
+CCA = "cca"
 
 
 @dataclass
@@ -105,6 +110,8 @@ class Nrf2401:
             PowerState(STANDBY, calibration.radio_standby_a),
             PowerState(TX, calibration.radio_tx_a),
             PowerState(RX, calibration.radio_rx_a),
+            # Carrier sensing keeps the receive chain on: RX current.
+            PowerState(CCA, calibration.radio_rx_a),
         ])
         self.ledger = PowerStateLedger(
             sim, name, table, calibration.supply_v,
@@ -135,6 +142,23 @@ class Nrf2401:
         self._rx_since: Optional[int] = None
         self._tx_busy = False
         self._inflight: Dict[int, "Transmission"] = {}
+        # Frames whose airtime this radio is actively capturing (RX on
+        # since before first bit).  A fault-driven power_down() moves
+        # them to _fault_cut with the cut tick, so frame_arrival_end
+        # can report an explicit fault_dropped outcome instead of a
+        # silent non-capture.
+        self._capturing: Set[int] = set()
+        # Captures abandoned by a software mode switch (stop_rx/send),
+        # keyed by frame id -> abandon tick.  Normally these drain
+        # silently at frame_arrival_end; if the radio powers down
+        # before that, the teardown was a fault quiesce and they are
+        # promoted to fault cuts at their abandon tick.
+        self._rx_abandoned: Dict[int, int] = {}
+        self._fault_cut: Dict[int, int] = {}
+        # Carrier-sense window bookkeeping.
+        self._cca_since: Optional[int] = None
+        self._cca_busy_start = False
+        self._cca_on_result: Optional[Callable[[bool], None]] = None
 
         # Hot-path precomputation: the ShockBurst chain schedules three
         # callbacks per frame and the timing constants never change, so
@@ -148,6 +172,7 @@ class Nrf2401:
         self._label_txtail = f"{name}.txtail"
         self._label_txdone = f"{name}.txdone"
         self._label_rxtail = f"{name}.rxtail"
+        self._label_ccadone = f"{name}.ccadone"
         self._tx_settle_ticks = seconds(timing.tx_settle_s)
         self._tx_tail_ticks = seconds(timing.tx_tail_s)
         self._rx_tail_ticks = seconds(timing.rx_tail_s)
@@ -155,6 +180,7 @@ class Nrf2401:
         self._tx_event_memo: Dict[int, int] = {}
         self._tx_energy_memo: Dict[int, float] = {}
         self._rx_energy_memo: Dict[int, float] = {}
+        self._cca_energy_memo: Dict[int, float] = {}
 
         # Traffic counters (read via snapshot_counters()).
         self._count_data_tx = 0
@@ -194,6 +220,34 @@ class Nrf2401:
         """Switch everything off.  Illegal mid-transmission."""
         if self._tx_busy:
             raise RadioError(f"{self.name}: power_down during transmission")
+        if self._cca_since is not None:
+            # A fault quiesced the radio mid-sense: book the truncated
+            # window (the ledger stops accruing CCA-state energy at
+            # this instant) and drop the pending result callback.
+            partial = (to_seconds(self._sim.now - self._cca_since)
+                       * self._cal.radio_rx_a * self._cal.supply_v)
+            self.accountant.book(RadioEnergyCategory.IDLE_LISTENING,
+                                 partial, frames=0)
+            self._cca_since = None
+            self._cca_on_result = None
+        if self._capturing:
+            # Frames whose airtime we were capturing are cut here; the
+            # channel will still deliver frame_arrival_end (receiver
+            # sets are frozen at first bit), where the cut becomes an
+            # explicit fault_dropped outcome.
+            for frame_id in self._capturing:
+                self._fault_cut[frame_id] = self._sim.now
+            self._capturing.clear()
+        if self._rx_abandoned:
+            # The MAC's teardown stopped the receive chain moments ago
+            # (stop_rx mid-capture) and now the whole radio goes dark:
+            # that is a fault quiesce, not a routine mode switch.  The
+            # abandoned captures become fault cuts at the tick the
+            # chain actually stopped, so the energy booked at
+            # frame_arrival_end matches what the ledger accrued.
+            for frame_id, cut in self._rx_abandoned.items():
+                self._fault_cut.setdefault(frame_id, cut)
+            self._rx_abandoned.clear()
         self._rx_since = None
         self.ledger.transition(POWER_DOWN)
 
@@ -212,6 +266,10 @@ class Nrf2401:
             raise RadioError(
                 f"{self.name}: start_rx while powered down "
                 f"(call power_up() first)")
+        if self.ledger.state == CCA:
+            raise RadioError(
+                f"{self.name}: start_rx during carrier sensing "
+                f"(wait for the CCA result)")
         if self.ledger.state == RX:
             if self._rx_since is None:
                 # Re-arm during the turn-off tail: supersede the tail
@@ -233,6 +291,13 @@ class Nrf2401:
         if self.ledger.state != RX:
             return
         self._rx_since = None
+        # Frames mid-capture are abandoned (legitimately — the chain is
+        # being turned off by the MAC, not cut by a fault).  Remember
+        # the abandon tick: should the radio power down before the
+        # frame drains, power_down() reclassifies these as fault cuts.
+        for frame_id in self._capturing:
+            self._rx_abandoned[frame_id] = self._sim.now
+        self._capturing.clear()
         self.ledger.retag("tail")
         self._sim.after(self._rx_tail_ticks, self._finish_rx_tail,
                         label=self._label_rxtail)
@@ -243,6 +308,76 @@ class Nrf2401:
             self.ledger.transition(STANDBY)
             if self._trace is not None:
                 self._trace.record(self._sim.now, self.name, "rx_off", "")
+
+    # ------------------------------------------------------------------
+    # Carrier sensing (CCA)
+    # ------------------------------------------------------------------
+    def cca(self, duration_ticks: int,
+            on_result: Callable[[bool], None]) -> None:
+        """Assess the channel for ``duration_ticks`` (stand-by -> CCA).
+
+        The receive chain dwells at RX current without decoding frames;
+        ``on_result`` is invoked with ``True`` when the channel was busy
+        at any sampled instant of the window (energy-detect style: first
+        bit, last bit, or a locked-up receive chain reading noise).  The
+        window's energy is booked as idle listening — carrier sensing
+        never captures a frame.  Like RX/TX, sensing is reachable only
+        from stand-by.
+        """
+        if self._tx_busy:
+            raise RadioError(f"{self.name}: cca during transmission")
+        if self.ledger.state == POWER_DOWN:
+            raise RadioError(
+                f"{self.name}: cca while powered down "
+                f"(call power_up() first)")
+        if self.ledger.state == RX:
+            raise RadioError(
+                f"{self.name}: cca while listening (stop_rx() first)")
+        if self.ledger.state == CCA:
+            raise RadioError(f"{self.name}: cca already in progress")
+        if duration_ticks <= 0:
+            raise ValueError(
+                f"{self.name}: cca duration must be > 0: {duration_ticks}")
+        self._cca_since = self._sim.now
+        self._cca_busy_start = self._channel.is_busy_at(self.address)
+        self._cca_on_result = on_result
+        self.ledger.transition(CCA, tag="sense")
+        if self._trace is not None:
+            self._trace.record(self._sim.now, self.name, "cca_start", "")
+        self._sim.after(duration_ticks, self._finish_cca,
+                        label=self._label_ccadone)
+
+    def _finish_cca(self) -> None:
+        if self.ledger.state != CCA:
+            return  # a fault powered the radio down mid-sense
+        on_result = self._cca_on_result
+        busy = (self._cca_busy_start
+                or self._channel.is_busy_at(self.address)
+                or self.fault_rx_deaf)
+        # _cca_since can be later than the window start: a measurement
+        # reset mid-sense advances it so the booking matches the ledger.
+        elapsed = self._sim.now - self._cca_since \
+            if self._cca_since is not None else 0
+        energy = self._cca_energy_memo.get(elapsed)
+        if energy is None:
+            energy = (to_seconds(elapsed)
+                      * self._cal.radio_rx_a * self._cal.supply_v)
+            self._cca_energy_memo[elapsed] = energy
+        # Idle-listening class: the chain was on but no frame was (or
+        # could be) captured, which is exactly what the taxonomy's
+        # residual category means — here it is booked eagerly so the
+        # attribution invariant covers the CCA ledger state too.
+        self.accountant.book(RadioEnergyCategory.IDLE_LISTENING,
+                             energy, frames=0)
+        self._cca_since = None
+        self._cca_busy_start = False
+        self._cca_on_result = None
+        self.ledger.transition(STANDBY)
+        if self._trace is not None:
+            self._trace.record(self._sim.now, self.name, "cca_done",
+                               "busy" if busy else "idle")
+        if on_result is not None:
+            on_result(busy)
 
     # ------------------------------------------------------------------
     # Transmit path (ShockBurst)
@@ -281,6 +416,10 @@ class Nrf2401:
             raise RadioError(
                 f"{self.name}: send while powered down "
                 f"(call power_up() first)")
+        if self.ledger.state == CCA:
+            raise RadioError(
+                f"{self.name}: send during carrier sensing "
+                f"(wait for the CCA result)")
         if frame.src != self.address:
             raise RadioError(
                 f"{self.name}: frame src {frame.src!r} != radio address "
@@ -289,6 +428,9 @@ class Nrf2401:
             # Mode switch: abandon listening immediately (no RX tail; the
             # chip retunes the synthesizer, accounted in the TX settle).
             self._rx_since = None
+            for frame_id in self._capturing:
+                self._rx_abandoned[frame_id] = self._sim.now
+            self._capturing.clear()
         self._tx_busy = True
         if frame.frame_id == 0:
             # First transmit: stamp the per-simulation serial (Frame is
@@ -362,6 +504,11 @@ class Nrf2401:
     def frame_arrival_start(self, transmission: "Transmission") -> None:
         """Channel notification: a frame's airtime begins at this radio."""
         self._inflight[transmission.frame.frame_id] = transmission
+        if self._rx_since is not None:
+            # The chain is on from the first bit: this frame is being
+            # captured (tracked so a fault-driven power_down mid-airtime
+            # becomes an explicit fault_dropped, not a silent miss).
+            self._capturing.add(transmission.frame.frame_id)
 
     def frame_arrival_end(self, transmission: "Transmission",
                           corrupted: bool) -> None:
@@ -372,7 +519,25 @@ class Nrf2401:
         appropriate loss category.
         """
         self._inflight.pop(transmission.frame.frame_id, None)
+        self._capturing.discard(transmission.frame.frame_id)
+        self._rx_abandoned.pop(transmission.frame.frame_id, None)
         start = transmission.start_time
+        cut = self._fault_cut.pop(transmission.frame.frame_id, None)
+        if cut is not None:
+            # The radio was quiesced (NodeCrash / BatteryBrownout) while
+            # capturing this frame: the receive chain spent RX energy
+            # from first bit to the cut, then went dark.  Book the
+            # truncated capture as a collision-class loss and surface an
+            # explicit fault_dropped outcome instead of a silent miss.
+            partial = (to_seconds(cut - start)
+                       * self._cal.radio_rx_a * self._cal.supply_v)
+            self.accountant.book(RadioEnergyCategory.COLLISION, partial)
+            self._count_corrupted += 1
+            self.fault_frames_dropped += 1
+            if self.spans is not None:
+                self.spans.rx_outcome(transmission.frame, self.address,
+                                      start, cut, "fault_dropped")
+            return
         captured = (self._rx_since is not None and self._rx_since <= start)
         if not captured:
             return  # receiver was off (or turned on mid-frame): nothing seen
@@ -487,6 +652,11 @@ class Nrf2401:
         """Clear ledger, attribution and counters at measurement start."""
         self.ledger.reset()
         self.accountant = LossAccountant()
+        if self._cca_since is not None:
+            # A sensing window straddling the reset: only its post-reset
+            # part is in the fresh ledger, so only that part may be
+            # booked when the window completes.
+            self._cca_since = self._sim.now
         self._count_data_tx = 0
         self._count_data_rx = 0
         self._count_control_tx = 0
@@ -496,4 +666,4 @@ class Nrf2401:
 
 
 __all__ = ["Nrf2401", "RadioError", "TxOutcome",
-           "POWER_DOWN", "STANDBY", "TX", "RX"]
+           "POWER_DOWN", "STANDBY", "TX", "RX", "CCA"]

@@ -1,8 +1,9 @@
 """MAC layer: frames, slots, sync policies, static & dynamic TDMA, and
-the unslotted-ALOHA contention baseline."""
+the contention family (unslotted ALOHA and 802.15.4-style CSMA/CA)."""
 
 from .aloha import AlohaBaseMac, AlohaConfig, AlohaNodeMac
 from .base import AppPayload, BaseStationMac, MacCounters, NodeMac, NodeState
+from .csma import CsmaBaseMac, CsmaConfig, CsmaNodeMac
 from .recovery import RecoveryConfig
 from .messages import (
     BEACON_BASE_BYTES,
@@ -39,6 +40,9 @@ __all__ = [
     "AlohaNodeMac",
     "AppPayload",
     "BaseStationMac",
+    "CsmaBaseMac",
+    "CsmaConfig",
+    "CsmaNodeMac",
     "MacCounters",
     "NodeMac",
     "NodeState",

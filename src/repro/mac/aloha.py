@@ -87,6 +87,7 @@ class AlohaNodeMac(Component):
             = None
         #: Optional causal-span tracer (:mod:`repro.obs.spans`).
         self.spans: Optional["SpanTracer"] = None
+        self._stop_pending = False
 
     # The scenario runner aligns measurement windows via these two
     # attributes on any base MAC; nodes expose the poll interval for
@@ -97,6 +98,7 @@ class AlohaNodeMac(Component):
         return self.config.poll_interval_ticks
 
     def on_start(self) -> None:
+        self._stop_pending = False
         self._radio.power_up()
         interval = self.config.poll_interval_ticks
         if self.config.start_jitter:
@@ -105,6 +107,16 @@ class AlohaNodeMac(Component):
         else:
             first = 0
         self._sim.after(first, self._poll, label=f"{self.name}.poll")
+
+    def on_stop(self) -> None:
+        # Symmetric with the collector: stopping the MAC releases the
+        # radio, so a post-window drain no longer accrues stand-by
+        # energy against this node.  Mid-ShockBurst the chip cannot be
+        # switched off; defer to the TX-completion callback.
+        if self._radio.is_transmitting:
+            self._stop_pending = True
+            return
+        self._radio.power_down()
 
     def _poll(self) -> None:
         if not self.started:
@@ -119,9 +131,19 @@ class AlohaNodeMac(Component):
         payload_bytes, content = payload
         frame = make_data(self._radio.address, self.config.base_station,
                           payload_bytes, content)
+        tx_event = self._radio.tx_event_ticks(frame)
+        if tx_event > interval:
+            # The ShockBurst event would not fit inside one poll window:
+            # any offset makes the airtime spill into the next window
+            # and collide with this node's own next transmission.  Skip
+            # the frame deterministically (no RNG draw) and count it.
+            self.counters.oversize_skipped += 1
+            if self._trace is not None:
+                self._trace.record(self._sim.now, self.name,
+                                   "oversize_skip", frame.describe())
+            return
         offset = self._sim.rng.uniform_ticks(
-            f"{self._radio.address}.aloha_tx", 0,
-            max(0, interval - self._radio.tx_event_ticks(frame)))
+            f"{self._radio.address}.aloha_tx", 0, interval - tx_event)
         if self.spans is not None:
             self.spans.note_wait(self._radio.address, "mac.tx_jitter",
                                  self._sim.now, self._sim.now + offset)
@@ -129,16 +151,27 @@ class AlohaNodeMac(Component):
                         label=f"{self.name}.tx_at")
 
     def _queue_tx(self, frame: Frame) -> None:
+        if not self.started:
+            return
         label = f"{self.name}.pkt_prep"
         if self.spans is not None:
             self.spans.packet_queued(frame, self._sim.now, label)
-        self._scheduler.post(
-            lambda: self._radio.send(frame, self._tx_done),
-            self._cal.mcu_costs.packet_preparation,
-            label=label)
+        self._scheduler.post(lambda: self._send(frame),
+                             self._cal.mcu_costs.packet_preparation,
+                             label=label)
+
+    def _send(self, frame: Frame) -> None:
+        # The prep task may drain after a stop (crash faults power the
+        # radio down); sending then would be a RadioError.
+        if not self.started:
+            return
+        self._radio.send(frame, self._tx_done)
 
     def _tx_done(self, outcome: TxOutcome) -> None:
         self.counters.data_sent += 1
+        if self._stop_pending and not self.started:
+            self._stop_pending = False
+            self._radio.power_down()
 
     def observe_metrics(self, registry: "MetricsRegistry",
                         node: str) -> None:

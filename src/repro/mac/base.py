@@ -94,6 +94,11 @@ class MacCounters:
     slot_revocations: int = 0
     recoveries: int = 0
     sync_anomalies: int = 0
+    #: Contention-MAC counters (ALOHA / CSMA; zero under TDMA).
+    oversize_skipped: int = 0
+    cca_busy: int = 0
+    backoff_attempts: int = 0
+    tx_abandoned: int = 0
 
     def as_dict(self) -> dict:
         """Field-name -> count mapping (the metrics/export view)."""

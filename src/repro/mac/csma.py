@@ -1,0 +1,331 @@
+"""Unslotted CSMA/CA: the listen-before-talk contention MAC.
+
+ALOHA (:mod:`repro.mac.aloha`) never listens; TDMA never contends.
+Real BAN deployments overwhelmingly sit between the two: 802.15.4-style
+CSMA/CA, the reference contention MAC of the WBAN surveys.  This module
+supplies that missing family, following the unslotted (non-beacon)
+802.15.4 algorithm:
+
+1. A node polls its application every ``poll_interval`` (like ALOHA)
+   and prepares at most one frame at a time.
+2. Before transmitting it waits a random backoff of
+   ``U[0, 2^BE - 1]`` backoff unit periods (``BE`` starts at
+   ``min_be``), then performs a **clear-channel assessment**: the
+   radio's receive chain dwells ``cca_ticks`` at RX current
+   (:meth:`repro.hw.radio.Nrf2401.cca`) and samples the channel's
+   per-receiver in-flight sets (:meth:`repro.phy.channel.Channel.is_busy_at`).
+3. Channel idle: transmit immediately (one ShockBurst event).  Channel
+   busy: increment ``BE`` (capped at ``max_be``) and go back to 2, up
+   to ``max_backoffs`` retries; then the frame is **abandoned**
+   (``tx_abandoned`` — the 802.15.4 channel-access failure).
+
+Energy profile: a node pays ALOHA's TX events *plus* one or more
+128 us CCA windows at RX current per frame — the price of collision
+avoidance, a couple of orders of magnitude below TDMA's beacon-listen
+windows.  The backoff wait itself is spent in stand-by (radio off by
+default calibration) and costs nothing.
+
+Every backoff draw comes from the named per-node stream
+``<address>.csma_backoff`` of the simulator's RNG registry, so runs
+are bit-reproducible and the RNG-provenance lint can verify the seed
+path.  With a :class:`~repro.mac.recovery.RecoveryConfig` installed, a
+streak of consecutive busy CCAs (a saturated channel — or a receive
+chain locked up by the ``RadioLockup`` fault, which reads as noise)
+widens the backoff-exponent cap by ``csma_be_boost`` until an idle
+CCA clears it.
+
+The base station reuses the ALOHA collector unchanged: a permanently
+listening receiver with no acknowledgements (ShockBurst has none), so
+collided frames are still silent losses — CSMA lowers their
+probability, it cannot signal them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from ..core.calibration import ModelCalibration
+from ..hw.frames import Frame
+from ..hw.radio import Nrf2401, TxOutcome
+from ..sim.kernel import Simulator
+from ..sim.simtime import microseconds
+from ..sim.trace import TraceRecorder
+from ..tinyos.components import Component
+from ..tinyos.scheduler import TaskScheduler
+from .aloha import AlohaBaseMac, AlohaConfig
+from .base import AppPayload, MacCounters
+from .messages import make_data
+from .recovery import RecoveryConfig
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
+    from ..obs.spans import SpanTracer
+
+
+@dataclass(frozen=True)
+class CsmaConfig(AlohaConfig):
+    """Parameters of the unslotted CSMA/CA MAC.
+
+    Extends the ALOHA poll-loop parameters with the 802.15.4
+    contention knobs (default values are the standard's:
+    ``macMinBE = 3``, ``aMaxBE = 5``, ``macMaxCSMABackoffs = 4``, a
+    20-symbol backoff unit and an 8-symbol CCA, scaled to the
+    nRF2401's 1 Mbit/s symbol rate as 320 us / 128 us).
+
+    Attributes:
+        min_be: initial backoff exponent.
+        max_be: cap on the backoff exponent.
+        max_backoffs: busy CCAs tolerated per frame before it is
+            abandoned (the 802.15.4 channel-access-failure limit).
+        backoff_unit_ticks: one backoff unit period, in ticks.
+        cca_ticks: duration of one clear-channel assessment, in ticks.
+    """
+
+    min_be: int = 3
+    max_be: int = 5
+    max_backoffs: int = 4
+    backoff_unit_ticks: int = microseconds(320)
+    cca_ticks: int = microseconds(128)
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.min_be < 0:
+            raise ValueError(f"min_be must be >= 0: {self.min_be}")
+        if self.max_be < self.min_be:
+            raise ValueError(
+                f"max_be must be >= min_be: {self.max_be} < {self.min_be}")
+        if self.max_backoffs < 0:
+            raise ValueError(
+                f"max_backoffs must be >= 0: {self.max_backoffs}")
+        if self.backoff_unit_ticks <= 0:
+            raise ValueError(
+                f"backoff unit must be positive: {self.backoff_unit_ticks}")
+        if self.cca_ticks <= 0:
+            raise ValueError(
+                f"cca duration must be positive: {self.cca_ticks}")
+
+
+class CsmaNodeMac(Component):
+    """Node side: poll, back off, sense, and transmit only when clear.
+
+    Args:
+        sim: simulation kernel.
+        radio: this node's transceiver (must support :meth:`cca`).
+        scheduler: this node's TinyOS task scheduler (MCU cost sink).
+        calibration: model constants.
+        config: contention parameters.
+        recovery: opt-in backoff-cap widening under busy-CCA streaks
+            (None = plain 802.15.4 behaviour, byte-identical to the
+            no-recovery ledgers).
+    """
+
+    def __init__(self, sim: Simulator, radio: Nrf2401,
+                 scheduler: TaskScheduler,
+                 calibration: ModelCalibration,
+                 config: CsmaConfig,
+                 recovery: Optional[RecoveryConfig] = None,
+                 name: Optional[str] = None,
+                 trace: Optional[TraceRecorder] = None) -> None:
+        super().__init__(sim, name or f"{radio.address}.mac", trace)
+        self._radio = radio
+        self._scheduler = scheduler
+        self._cal = calibration
+        self.config = config
+        self.recovery = recovery
+        self.counters = MacCounters()
+        #: Application hook, identical contract to the other MACs.
+        self.payload_provider: Optional[Callable[[], Optional[AppPayload]]] \
+            = None
+        #: Optional causal-span tracer (:mod:`repro.obs.spans`).
+        self.spans: Optional["SpanTracer"] = None
+        self._stop_pending = False
+        #: The single frame currently in contention (None = idle).
+        self._pending: Optional[Frame] = None
+        self._nb = 0
+        self._be = config.min_be
+        #: Consecutive busy CCAs (channel-level recovery signal).
+        self._busy_streak = 0
+        self._cap_widened = False
+        self._backoff_stream = f"{radio.address}.csma_backoff"
+        self._label_poll = f"{self.name}.poll"
+        self._label_backoff = f"{self.name}.backoff"
+        self._label_prep = f"{self.name}.pkt_prep"
+
+    @property
+    def poll_interval_ticks(self) -> int:
+        """The node's transmission-opportunity period."""
+        return self.config.poll_interval_ticks
+
+    def on_start(self) -> None:
+        self._stop_pending = False
+        self._pending = None
+        self._nb = 0
+        self._be = self.config.min_be
+        self._busy_streak = 0
+        self._cap_widened = False
+        self._radio.power_up()
+        interval = self.config.poll_interval_ticks
+        if self.config.start_jitter:
+            first = self._sim.rng.uniform_ticks(
+                f"{self._radio.address}.csma_start", 0, interval - 1)
+        else:
+            first = 0
+        self._sim.after(first, self._poll, label=self._label_poll)
+
+    def on_stop(self) -> None:
+        # Mid-ShockBurst the chip cannot be switched off; defer to the
+        # TX-completion callback.  A pending CCA window is cut by the
+        # power-down itself (the radio books the partial sense energy).
+        if self._radio.is_transmitting:
+            self._stop_pending = True
+            return
+        self._radio.power_down()
+
+    # ------------------------------------------------------------------
+    # Poll loop
+    # ------------------------------------------------------------------
+    def _poll(self) -> None:
+        if not self.started:
+            return
+        interval = self.config.poll_interval_ticks
+        self._sim.after(interval, self._poll, label=self._label_poll)
+        if self._pending is not None:
+            # Still contending for the previous frame: the application
+            # keeps buffering; this opportunity is skipped.
+            return
+        if self.payload_provider is None:
+            return
+        payload = self.payload_provider()
+        if payload is None:
+            return
+        payload_bytes, content = payload
+        frame = make_data(self._radio.address, self.config.base_station,
+                          payload_bytes, content)
+        self._pending = frame
+        if self.spans is not None:
+            self.spans.packet_queued(frame, self._sim.now, self._label_prep)
+        self._scheduler.post(lambda: self._begin_contention(frame),
+                             self._cal.mcu_costs.packet_preparation,
+                             label=self._label_prep)
+
+    # ------------------------------------------------------------------
+    # CSMA/CA attempt loop
+    # ------------------------------------------------------------------
+    def _begin_contention(self, frame: Frame) -> None:
+        if not self.started:
+            self._pending = None
+            return
+        self._nb = 0
+        self._be = self.config.min_be
+        self._attempt(frame)
+
+    def _backoff_cap(self) -> int:
+        """The effective maximum backoff exponent right now."""
+        cap = self.config.max_be
+        if self._cap_widened and self.recovery is not None:
+            cap += self.recovery.csma_be_boost
+        return cap
+
+    def _attempt(self, frame: Frame) -> None:
+        if not self.started:
+            self._pending = None
+            return
+        units = self._sim.rng.uniform_ticks(
+            self._backoff_stream, 0, (1 << self._be) - 1)
+        wait = units * self.config.backoff_unit_ticks
+        self.counters.backoff_attempts += 1
+        if self.spans is not None:
+            self.spans.mac_phase(frame, "mac.backoff_wait",
+                                 self._sim.now, self._sim.now + wait)
+        self._sim.after(wait, lambda: self._start_cca(frame),
+                        label=self._label_backoff)
+
+    def _start_cca(self, frame: Frame) -> None:
+        if not self.started:
+            self._pending = None
+            return
+        start = self._sim.now
+        self._radio.cca(self.config.cca_ticks,
+                        lambda busy: self._cca_done(frame, start, busy))
+
+    def _cca_done(self, frame: Frame, start: int, busy: bool) -> None:
+        if self.spans is not None:
+            self.spans.mac_phase(frame, "mac.cca", start, self._sim.now,
+                                 "busy" if busy else "idle")
+        if not self.started:
+            self._pending = None
+            return
+        if not busy:
+            if self._cap_widened and self._trace is not None:
+                self._trace.record(self._sim.now, self.name,
+                                   "backoff_cap_restored", "")
+            self._busy_streak = 0
+            self._cap_widened = False
+            self._radio.send(frame, self._tx_done)
+            return
+        self.counters.cca_busy += 1
+        recovery = self.recovery
+        self._busy_streak += 1
+        if (recovery is not None and not self._cap_widened
+                and recovery.csma_busy_streak > 0
+                and self._busy_streak >= recovery.csma_busy_streak):
+            # Persistent busy readings: a saturated channel or a
+            # locked-up receive chain.  Widen the contention window.
+            self._cap_widened = True
+            self.counters.windows_widened += 1
+            if self._trace is not None:
+                self._trace.record(self._sim.now, self.name,
+                                   "backoff_cap_widened",
+                                   f"streak={self._busy_streak}")
+        self._nb += 1
+        self._be = min(self._be + 1, self._backoff_cap())
+        if self._nb > self.config.max_backoffs:
+            # 802.15.4 channel-access failure: the frame is dropped at
+            # the MAC without ever hitting the air.
+            self.counters.tx_abandoned += 1
+            if self._trace is not None:
+                self._trace.record(self._sim.now, self.name,
+                                   "tx_abandoned", frame.describe())
+            if self.spans is not None:
+                self.spans.packet_abandoned(frame, self._sim.now)
+            self._pending = None
+            return
+        self._attempt(frame)
+
+    def _tx_done(self, outcome: TxOutcome) -> None:
+        self.counters.data_sent += 1
+        self._pending = None
+        if self._stop_pending and not self.started:
+            self._stop_pending = False
+            self._radio.power_down()
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def observe_metrics(self, registry: "MetricsRegistry",
+                        node: str) -> None:
+        """Pull the node's MAC counters and poll period.
+
+        CSMA has no beacons or slots; the contention counters
+        (``cca_busy``, ``backoff_attempts``, ``tx_abandoned``) are the
+        protocol-specific signal.  Read-only: call once per collected
+        run.
+        """
+        self.counters.observe_metrics(registry, node)
+        registry.gauge("mac", node, "poll_interval_ticks").set(
+            float(self.config.poll_interval_ticks))
+
+
+class CsmaBaseMac(AlohaBaseMac):
+    """Base-station side: the ALOHA collector, unchanged.
+
+    CSMA/CA only changes *when nodes talk*, not how the collector
+    listens: the receiver stays on permanently and ShockBurst still has
+    no acknowledgements, so the inherited behaviour (continuous RX,
+    software discard of non-data frames, per-frame reception cost) is
+    exactly right.
+    """
+
+
+__all__ = ["CsmaConfig", "CsmaNodeMac", "CsmaBaseMac"]

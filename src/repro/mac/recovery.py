@@ -18,6 +18,11 @@ the reproduction's recovery behaviour:
   ``2^(n-1) - 1`` cycles after the n-th attempt, capped at
   ``ssr_backoff_cap_cycles``) so a congested ES window is not hammered
   every cycle.
+* **CSMA backoff-cap widening** — a CSMA/CA node whose clear-channel
+  assessments come back busy ``csma_busy_streak`` times in a row (the
+  signature of a locked-up receive chain or a saturated channel) raises
+  its maximum backoff exponent by ``csma_be_boost``, spreading retries
+  over a wider window until an idle CCA clears the streak.
 
 All of it is **opt-in**: every MAC built without a ``RecoveryConfig``
 behaves exactly as before (ledger byte-identical), which is what keeps
@@ -45,6 +50,10 @@ class RecoveryConfig:
             the pre-recovery behaviour).
         ssr_backoff_cap_cycles: cap, in cycles, on the exponential
             slot-re-request backoff (0 disables backoff).
+        csma_busy_streak: consecutive busy CCAs before a CSMA node
+            widens its backoff-exponent cap (0 disables widening).
+        csma_be_boost: how much the maximum backoff exponent grows
+            while the busy streak persists.
     """
 
     widen_factor: float = 1.5
@@ -52,6 +61,8 @@ class RecoveryConfig:
     scan_on_cycles: float = 2.0
     scan_off_cycles: float = 3.0
     ssr_backoff_cap_cycles: int = 8
+    csma_busy_streak: int = 4
+    csma_be_boost: int = 2
 
     def __post_init__(self) -> None:
         if self.widen_factor < 1.0:
@@ -71,6 +82,12 @@ class RecoveryConfig:
             raise ValueError(
                 "ssr_backoff_cap_cycles must be >= 0: "
                 f"{self.ssr_backoff_cap_cycles}")
+        if self.csma_busy_streak < 0:
+            raise ValueError(
+                f"csma_busy_streak must be >= 0: {self.csma_busy_streak}")
+        if self.csma_be_boost < 0:
+            raise ValueError(
+                f"csma_be_boost must be >= 0: {self.csma_be_boost}")
 
     def widened_lead(self, lead: int, consecutive_misses: int) -> int:
         """The guard lead after ``consecutive_misses`` missed beacons."""

@@ -31,6 +31,7 @@ from ..core.calibration import DEFAULT_CALIBRATION, ModelCalibration
 from ..core.report import NetworkEnergyResult
 from ..faults import FaultInjector, FaultPlan
 from ..mac.aloha import AlohaBaseMac, AlohaConfig, AlohaNodeMac
+from ..mac.csma import CsmaBaseMac, CsmaConfig, CsmaNodeMac
 from ..mac.recovery import RecoveryConfig
 from ..mac.sync import SyncPolicy
 from ..mac.tdma_dynamic import DynamicTdmaBaseMac, DynamicTdmaConfig, \
@@ -53,7 +54,7 @@ if TYPE_CHECKING:
     from ..obs.spans import SpanTracer
 
 #: Supported MAC identifiers.
-MACS = ("static", "dynamic", "aloha")
+MACS = ("static", "dynamic", "aloha", "csma")
 
 #: Supported application identifiers.
 APPS = ("ecg_streaming", "rpeak", "eeg_streaming", "adaptive")
@@ -175,12 +176,16 @@ class BanScenarioConfig:
             raise ValueError(
                 "ALOHA has no join protocol (nodes never synchronise); "
                 "drop join_protocol")
+        if self.mac == "csma" and self.join_protocol:
+            raise ValueError(
+                "CSMA/CA has no join protocol (nodes contend, never "
+                "synchronise); drop join_protocol")
 
     # ------------------------------------------------------------------
     @property
     def cycle_ticks(self) -> int:
         """Steady-state TDMA cycle length in ticks."""
-        if self.mac in ("static", "aloha"):
+        if self.mac in ("static", "aloha", "csma"):
             return milliseconds(self.cycle_ms)
         return milliseconds(self.slot_ms) * (self.num_nodes + 1)
 
@@ -278,6 +283,13 @@ class BanScenario:
                 self.sim, self.base_station.radio,
                 self.base_station.scheduler, cal, mac_config,
                 trace=self.trace)
+        elif config.mac == "csma":
+            mac_config = CsmaConfig(
+                poll_interval_ticks=milliseconds(config.cycle_ms))
+            bs_mac = CsmaBaseMac(
+                self.sim, self.base_station.radio,
+                self.base_station.scheduler, cal, mac_config,
+                trace=self.trace)
         elif config.mac == "static":
             mac_config = StaticTdmaConfig(
                 cycle_ticks=milliseconds(config.cycle_ms),
@@ -312,6 +324,11 @@ class BanScenario:
                 mac = AlohaNodeMac(
                     self.sim, node.radio, node.scheduler, cal,
                     mac_config, trace=self.trace)
+            elif config.mac == "csma":
+                mac = CsmaNodeMac(
+                    self.sim, node.radio, node.scheduler, cal,
+                    mac_config, recovery=config.recovery,
+                    trace=self.trace)
             elif config.mac == "static":
                 mac = StaticTdmaNodeMac(
                     self.sim, node.radio, node.scheduler, cal, mac_config,

@@ -15,6 +15,9 @@ phase                      interval
 ``mac.slot_wait``          beacon processed -> owned TDMA slot fires
 ``mac.ssr_wait``           SSR scheduled -> SSR transmitted (join protocol)
 ``mac.tx_jitter``          ALOHA poll -> randomised transmit instant
+``mac.backoff_wait``       CSMA backoff draw -> CCA start (radio off)
+``mac.cca``                CSMA clear-channel assessment window (RX
+                           current), with ``busy``/``idle`` as status
 ``tinyos.queue``           task posted -> task dispatched (FIFO wait)
 ``mcu.prepare``            packet-preparation task executing on the MCU
 ``radio.settle``           ShockBurst PLL settle (TX state, tag ``settle``)
@@ -88,9 +91,10 @@ ENERGY_BUCKETS_UJ = (1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0,
 #: on one node render on separate tracks.
 _PERFETTO_TIDS = {ROOT: 0, "app.buffer": 1, "mac.slot_wait": 2,
                   "mac.ssr_wait": 2, "mac.tx_jitter": 2,
+                  "mac.backoff_wait": 2,
                   "tinyos.queue": 3, "mcu.prepare": 3,
                   "radio.settle": 4, "phy.air": 4, "radio.tail": 4,
-                  "phy.rx": 5}
+                  "mac.cca": 4, "phy.rx": 5}
 
 #: A span as a plain JSON-able record (the snapshot/merge wire format):
 #: ``[span_id, parent_id, trace_id, name, node, kind, frame_id, start,
@@ -358,6 +362,36 @@ class SpanTracer:
         """A MAC-level wait (slot wait, ES-window draw, ALOHA jitter)
         ending at the next packet this node queues."""
         self._pending_wait[node] = (name, start, end)
+
+    def mac_phase(self, frame: Frame, name: str, start: int, end: int,
+                  status: str = "") -> None:
+        """A closed contention phase on an already-queued packet.
+
+        CSMA uses it for every backoff wait and CCA window of a frame
+        (repeatable phases, unlike the single-slot ``note_wait``).
+        ``mac.cca`` is attributed at the sender's RX coefficient — the
+        receive chain dwells for the window — which is exactly the
+        ledger's ``cca``-state expression; waits are radio-off and
+        carry no energy.
+        """
+        trace = self._by_frame.get(id(frame))
+        if trace is None:
+            return
+        energy = 0.0
+        if name == "mac.cca":
+            binding = self._bindings.get(trace.node)
+            if binding is not None:
+                energy = binding.radio_rx_w * to_seconds(end - start)
+        trace.phases.append((name, trace.node, start, end, energy,
+                             status))
+
+    def packet_abandoned(self, frame: Frame, now: int) -> None:
+        """The MAC dropped the frame without transmitting it (CSMA
+        channel-access failure): finalise its trace as ``abandoned``."""
+        trace = self._by_frame.pop(id(frame), None)
+        if trace is None:
+            return
+        self._finalize(trace, now, "abandoned")
 
     def packet_queued(self, frame: Frame, now: int,
                       task_label: str) -> None:
@@ -673,6 +707,8 @@ def _span_energy_by_state(store: SpanStore
             key = (span.node, "tx")
         elif span.name == "phy.rx":
             key = (span.node, "rx")
+        elif span.name == "mac.cca":
+            key = (span.node, "cca")
         elif span.name in _MCU_PHASES:
             key = (span.node, "active")
         else:
@@ -703,6 +739,7 @@ def reconcile_spans(store: SpanStore, scenario: "BanScenario"
         for state, ledger_name, ledger_j in (
                 ("tx", "radio", radio_by_state.get("tx", 0.0)),
                 ("rx", "radio", radio_by_state.get("rx", 0.0)),
+                ("cca", "radio", radio_by_state.get("cca", 0.0)),
                 ("active", "mcu", mcu_by_state.get("active", 0.0))):
             span_j = sums.get((node_id, state), 0.0)
             if span_j == 0.0 and ledger_j == 0.0:

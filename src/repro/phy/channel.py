@@ -105,6 +105,18 @@ class Channel:
         """Attached radios by address (read-only view by convention)."""
         return self._radios
 
+    def is_busy_at(self, address: str) -> bool:
+        """Carrier sense: is any transmission in flight at ``address``?
+
+        True while at least one frame whose receiver set includes the
+        radio at ``address`` (in range, same RF channel, not its own
+        transmission) is on the air.  This is the PHY query a CCA
+        window samples; it reads the same per-receiver in-flight sets
+        the collision detector maintains, so "busy" and "would collide"
+        agree by construction.
+        """
+        return bool(self._inflight_at[address])
+
     @property
     def collisions_detected(self) -> int:
         """Number of (transmission, receiver) overlap corruptions so far."""

@@ -1,10 +1,20 @@
 """Tests for the unslotted-ALOHA baseline MAC."""
 
+import dataclasses
+
 import pytest
 
-from repro.mac.aloha import AlohaConfig
+from repro.core.calibration import (
+    DEFAULT_CALIBRATION,
+    RADIO_STANDBY_DATASHEET_A,
+)
+from repro.hw.mcu import Msp430
+from repro.hw.radio import Nrf2401
+from repro.mac.aloha import AlohaConfig, AlohaNodeMac
 from repro.net.scenario import BanScenario, BanScenarioConfig
-from repro.sim.simtime import milliseconds
+from repro.phy.channel import Channel
+from repro.sim.simtime import milliseconds, seconds
+from repro.tinyos.scheduler import TaskScheduler
 
 
 def run_aloha(num_nodes=3, measure_s=5.0, app="ecg_streaming",
@@ -97,6 +107,85 @@ class TestDelivery:
         for node in result.nodes.values():
             assert node.losses.total_j * 1e3 \
                 == pytest.approx(node.radio_mj, rel=1e-9)
+
+
+class TestStopReleasesRadio:
+    def test_stopped_node_stops_accruing_standby(self):
+        """Regression: AlohaNodeMac had no on_stop, so a stopped node's
+        radio sat in stand-by forever — invisible with the paper's
+        0 A stand-by figure, a real leak with the datasheet's 12 uA."""
+        cal = dataclasses.replace(
+            DEFAULT_CALIBRATION,
+            radio_standby_a=RADIO_STANDBY_DATASHEET_A)
+        config = BanScenarioConfig(
+            mac="aloha", app="ecg_streaming", num_nodes=1,
+            sampling_hz=205.0, measure_s=1.0, calibration=cal)
+        scenario = BanScenario(config)
+        scenario.start_all()
+        scenario.sim.run_until(seconds(0.5))
+        node = scenario.nodes[0]
+        assert not node.radio.is_transmitting  # deterministic instant
+        node.stack.stop_all()
+        assert node.radio.state == "power_down"
+        settled = node.radio.ledger.energy_j()
+        scenario.sim.run_until(seconds(1.5))
+        assert node.radio.ledger.energy_j() == settled
+
+    def test_stop_mid_transmission_defers_power_down(self, sim, cal):
+        channel = Channel(sim)
+        Nrf2401(sim, cal, channel, "base_station", name="bs.radio")
+        radio = Nrf2401(sim, cal, channel, "node1", name="node1.radio")
+        mac = AlohaNodeMac(
+            sim, radio, TaskScheduler(sim, Msp430(sim, cal)), cal,
+            AlohaConfig(poll_interval_ticks=milliseconds(0.486),
+                        start_jitter=False))
+        mac.payload_provider = lambda: (18, {"d": 1})
+        mac.start()
+        # The 486 us window pins the TX offset to <= 1 us; queued packet
+        # preparations then serialise sends 4.19 ms apart, so a 485 us
+        # TX event is reliably in flight at 4.4 ms.
+        sim.run_until(seconds(0.0044))
+        assert radio.is_transmitting
+        sent_at_stop = mac.counters.data_sent
+        mac.stop()
+        assert radio.state == "tx"     # mid-ShockBurst: deferred
+        sim.run_until(seconds(0.1))
+        assert radio.state == "power_down"
+        # Only the in-flight frame completes after the stop.
+        assert mac.counters.data_sent == sent_at_stop + 1
+
+
+class TestOversizeFrames:
+    def _mac(self, sim, cal, poll_ms, payload_bytes):
+        channel = Channel(sim)
+        Nrf2401(sim, cal, channel, "base_station", name="bs.radio")
+        radio = Nrf2401(sim, cal, channel, "node1", name="node1.radio")
+        mac = AlohaNodeMac(
+            sim, radio, TaskScheduler(sim, Msp430(sim, cal)), cal,
+            AlohaConfig(poll_interval_ticks=milliseconds(poll_ms),
+                        start_jitter=False))
+        mac.payload_provider = lambda: (payload_bytes, {"d": 1})
+        return mac
+
+    def test_oversize_frame_skipped_not_spilled(self, sim, cal):
+        """Regression: an offset clamp of max(0, interval - tx_event)
+        scheduled oversize frames at offset 0; their airtime spilled
+        into the next poll window and collided with the node's own
+        next transmission (RadioError: send while transmitting)."""
+        # 600 B payload -> 5141 us TX event, against a 4 ms window.
+        mac = self._mac(sim, cal, poll_ms=4.0, payload_bytes=600)
+        mac.start()
+        sim.run_until(seconds(0.5))
+        assert mac.counters.oversize_skipped > 0
+        assert mac.counters.data_sent == 0
+
+    def test_exactly_fitting_frame_still_sent(self, sim, cal):
+        # 600 B payload: TX event 5141 us == the poll window.
+        mac = self._mac(sim, cal, poll_ms=5.141, payload_bytes=600)
+        mac.start()
+        sim.run_until(seconds(0.5))
+        assert mac.counters.oversize_skipped == 0
+        assert mac.counters.data_sent > 0
 
 
 class TestEnergyComparison:

@@ -36,7 +36,7 @@ class TestParser:
 
     def test_invalid_mac_rejected(self):
         with pytest.raises(SystemExit):
-            build_parser().parse_args(["run", "--mac", "csma"])
+            build_parser().parse_args(["run", "--mac", "tokenring"])
 
     def test_batteries_registry(self):
         assert set(BATTERIES) == {"cr2477", "lipo160"}

@@ -163,6 +163,25 @@ class TestInjection:
         assert radio.fault_frames_dropped > 0
         assert scenario.nodes[1].mac.is_synced
 
+    def test_crash_mid_airtime_reports_fault_dropped(self):
+        """Regression: a crash landing inside a beacon's airtime used to
+        leave the half-captured frame unaccounted — the quiesce cleared
+        the capture set, so the frame showed up neither as received nor
+        as corrupted.  It must surface as an explicit fault drop."""
+        # Beacon #1 airtime runs 10.201..10.305 ms into the measurement
+        # window; 10.245 ms lands the crash mid-capture.
+        plan = FaultPlan(faults=(NodeCrash(node="node1", at_s=0.010245),))
+        scenario = BanScenario(_config(
+            num_nodes=1, measure_s=0.5, sampling_hz=205.0, faults=plan))
+        result = scenario.run()
+        radio = scenario.nodes[0].radio
+        assert radio.state == "power_down"
+        assert radio.fault_frames_dropped == 1
+        # The truncated capture keeps the attribution invariant intact.
+        node = result.nodes["node1"]
+        assert node.losses.total_j * 1e3 \
+            == pytest.approx(node.radio_mj, rel=1e-9)
+
     def test_beacon_burst_drops_exactly_n(self):
         plan = FaultPlan(faults=(
             BeaconLossBurst(node="node1", at_s=0.5, count=3),))

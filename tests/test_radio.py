@@ -263,6 +263,66 @@ class TestCollisions:
         assert channel.collisions_detected == 0
 
 
+class TestFaultCutCaptures:
+    """Regression: a receiver powered down mid-airtime used to vanish
+    from the outcome accounting — the capture set was simply cleared,
+    so the frame was neither delivered nor reported lost.  The radio
+    now books the truncated capture and surfaces ``fault_dropped``."""
+
+    def test_power_down_mid_capture_reports_fault_dropped(
+            self, sim, cal, pair):
+        _, a, b = pair
+        received = []
+        b.on_frame = received.append
+        b.start_rx()
+        a.send(data_frame())
+        # Airtime runs 195..403 us; cut the receiver at 300 us.
+        sim.at(microseconds(300), b.power_down)
+        sim.run_until(seconds(1.0))
+        assert received == []
+        assert b.fault_frames_dropped == 1
+        assert b.snapshot_counters().corrupted == 1
+        # Energy from first bit (195 us) to the cut, collision-class.
+        snap = b.accountant.snapshot()
+        partial = 105e-6 * cal.radio_rx_a * cal.supply_v
+        assert snap.energy_j[RadioEnergyCategory.COLLISION] \
+            == pytest.approx(partial)
+
+    def test_stop_rx_then_power_down_promotes_to_fault_cut(
+            self, sim, cal, pair):
+        """The injector's quiesce sequence (MAC stop_rx, then radio
+        power_down) must count the abandoned capture as a fault cut at
+        the tick the chain actually stopped."""
+        _, a, b = pair
+        b.start_rx()
+        a.send(data_frame())
+
+        def quiesce():
+            b.stop_rx()
+            b.power_down()
+
+        sim.at(microseconds(300), quiesce)
+        sim.run_until(seconds(1.0))
+        assert b.fault_frames_dropped == 1
+        snap = b.accountant.snapshot()
+        partial = 105e-6 * cal.radio_rx_a * cal.supply_v
+        assert snap.energy_j[RadioEnergyCategory.COLLISION] \
+            == pytest.approx(partial)
+
+    def test_routine_stop_rx_is_not_a_fault(self, sim, cal, pair):
+        """A MAC turning its chain off mid-frame (no power_down) is a
+        routine mode switch: the frame drains silently, exactly as
+        before the fault-cut mechanism existed."""
+        _, a, b = pair
+        b.start_rx()
+        a.send(data_frame())
+        sim.at(microseconds(300), b.stop_rx)
+        sim.run_until(seconds(1.0))
+        assert b.fault_frames_dropped == 0
+        snap = b.accountant.snapshot()
+        assert snap.energy_j.get(RadioEnergyCategory.COLLISION, 0.0) == 0.0
+
+
 class TestAttributionInvariant:
     def test_attribution_sums_to_active_state_energy(self, sim, cal, pair):
         _, a, b = pair

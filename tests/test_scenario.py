@@ -13,7 +13,7 @@ from repro.phy.topology import ExplicitLinks
 class TestConfigValidation:
     def test_bad_mac(self):
         with pytest.raises(ValueError):
-            BanScenarioConfig(mac="csma")
+            BanScenarioConfig(mac="tokenring")
 
     def test_bad_app(self):
         with pytest.raises(ValueError):
