@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 from ..data.paper_tables import FIGURE_4
-from .experiments import Figure4Result
+from .experiments import ExperimentResult, Figure4Result
 
 
 def figure4_series(result: Figure4Result) -> List[Dict[str, object]]:
@@ -85,7 +85,8 @@ def render_figure4(result: Figure4Result) -> str:
     return "\n".join(lines)
 
 
-def table_series(experiment) -> Tuple[List[float], Dict[str, List[float]]]:
+def table_series(experiment: ExperimentResult
+                 ) -> Tuple[List[float], Dict[str, List[float]]]:
     """Generic series extraction for any reproduced table.
 
     Returns (parameters, {series name: values}) — convenient for

@@ -21,7 +21,7 @@ from ..net.scenario import BanScenario, BanScenarioConfig
 CANONICAL: Dict[str, BanScenarioConfig] = {}
 
 
-def _register(name: str, **kwargs) -> None:
+def _register(name: str, **kwargs: object) -> None:
     CANONICAL[name] = BanScenarioConfig(**kwargs)
 
 

@@ -31,17 +31,18 @@ from .closed_form import predict
 #: Setters return a *new* ModelCalibration (everything is frozen).
 
 
-def _replace_sync(cal: ModelCalibration, **kw) -> ModelCalibration:
+def _replace_sync(cal: ModelCalibration, **kw: float) -> ModelCalibration:
     return dataclasses.replace(cal,
                                sync=dataclasses.replace(cal.sync, **kw))
 
 
-def _replace_timing(cal: ModelCalibration, **kw) -> ModelCalibration:
+def _replace_timing(cal: ModelCalibration,
+                    **kw: float) -> ModelCalibration:
     return dataclasses.replace(
         cal, radio_timing=dataclasses.replace(cal.radio_timing, **kw))
 
 
-def _replace_costs(cal: ModelCalibration, **kw) -> ModelCalibration:
+def _replace_costs(cal: ModelCalibration, **kw: float) -> ModelCalibration:
     kw = {key: round(value) for key, value in kw.items()}
     return dataclasses.replace(
         cal, mcu_costs=dataclasses.replace(cal.mcu_costs, **kw))
@@ -98,7 +99,7 @@ class SensitivityEntry:
         return self.swing_mj / self.nominal_mj
 
 
-def _extract(quantity: str):
+def _extract(quantity: str) -> Callable[[object], float]:
     """Value extractor for a prediction or a reported node result.
 
     Both :class:`~repro.analysis.closed_form` predictions and

@@ -9,7 +9,10 @@ result is what EXPERIMENTS.md summarises, produced fresh.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
 
 from ..core.calibration import ModelCalibration
 from ..core.losses import RadioEnergyCategory
@@ -97,7 +100,7 @@ def full_report(measure_s: float = 60.0, seed: int = 0,
     return "\n".join(parts)
 
 
-def _metrics_digest(registry) -> str:
+def _metrics_digest(registry: "MetricsRegistry") -> str:
     """A few headline figures from a metrics registry, as text.
 
     Keeps the report self-describing when the executor ran

@@ -21,9 +21,12 @@ Probes also answer timing questions directly (tests use this):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, IO, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, IO, List, Optional, Tuple, Union
 
 from ..core.ledger import PowerStateLedger
+
+if TYPE_CHECKING:
+    from ..net.scenario import BanScenario
 
 
 @dataclass(frozen=True)
@@ -58,7 +61,8 @@ class WaveformProbe:
             timeline.append(StateChange(time, state, tag)))
 
     @classmethod
-    def attach_to_scenario(cls, scenario) -> "WaveformProbe":
+    def attach_to_scenario(cls,
+                           scenario: "BanScenario") -> "WaveformProbe":
         """Probe every radio and MCU in a built (un-run) BanScenario."""
         probe = cls()
         probe.attach("base_station.radio",
@@ -114,7 +118,8 @@ class WaveformProbe:
     # ------------------------------------------------------------------
     # VCD export
     # ------------------------------------------------------------------
-    def write_vcd(self, path_or_file, timescale: str = "1 ns") -> None:
+    def write_vcd(self, path_or_file: Union[str, IO[str]],
+                  timescale: str = "1 ns") -> None:
         """Serialise all timelines as a VCD file.
 
         States are emitted as VCD string (real-text) signals, one per

@@ -115,7 +115,7 @@ class SamplingApplication(Component):
         """The sampling period in ticks."""
         return round(TICKS_PER_SECOND / self.sampling_hz)
 
-    def next_wake_hint(self):
+    def next_wake_hint(self) -> Optional[int]:
         """Absolute time of the next sampling tick (power-policy hint)."""
         return self._timer.next_fire_ticks
 

@@ -29,7 +29,13 @@ exactly as reproducible as the rest of the simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass, fields
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:
+    from ..net.monitor import BatteryMonitor
+    from ..net.node import SensorNode
+    from ..net.scenario import BanScenario
+    from ..obs.metrics import MetricsRegistry
 
 from ..mac.base import NodeMac
 from ..sim.simtime import milliseconds, seconds
@@ -81,7 +87,8 @@ class FaultInjector:
     :meth:`observe_metrics` under the ``faults`` component.
     """
 
-    def __init__(self, scenario, plan: FaultPlan) -> None:
+    def __init__(self, scenario: "BanScenario",
+                 plan: FaultPlan) -> None:
         self._scenario = scenario
         self._sim = scenario.sim
         self._plan = plan
@@ -89,8 +96,8 @@ class FaultInjector:
         self._counters: Dict[str, FaultCounters] = {}
         self._lockup_until: Dict[str, int] = {}
         #: Battery monitors attached for brownout faults (read-only).
-        self.monitors: List = []
-        self._by_name = {}
+        self.monitors: List["BatteryMonitor"] = []
+        self._by_name: Dict[str, "SensorNode"] = {}
         prefix = scenario.prefix
         for node in scenario.nodes:
             self._by_name[node.node_id] = node
@@ -162,7 +169,7 @@ class FaultInjector:
                 expanded.append(fault)
         return expanded
 
-    def _resolve(self, fault: FaultSpec):
+    def _resolve(self, fault: FaultSpec) -> "SensorNode":
         try:
             node = self._by_name[fault.node]
         except KeyError:
@@ -194,7 +201,8 @@ class FaultInjector:
                 report[node_id] = nonzero
         return report
 
-    def observe_metrics(self, registry) -> None:
+    def observe_metrics(self,
+                        registry: "MetricsRegistry") -> None:
         """Pull the per-node fault counters into a metrics registry."""
         for node_id, counts in self.summary().items():
             for name, value in counts.items():
@@ -203,18 +211,18 @@ class FaultInjector:
     # ------------------------------------------------------------------
     # Fault mechanics
     # ------------------------------------------------------------------
-    def _crash(self, node) -> None:
+    def _crash(self, node: "SensorNode") -> None:
         if self._stop_stack(node):
             self.counters_for(node.node_id).crashes += 1
 
-    def _stop_stack(self, node) -> bool:
+    def _stop_stack(self, node: "SensorNode") -> bool:
         if node.mac is None or not node.mac.started:
             return False  # already down (e.g. brownout after a crash)
         node.stack.stop_all()
         self._quiesce_radio(node)
         return True
 
-    def _quiesce_radio(self, node) -> None:
+    def _quiesce_radio(self, node: "SensorNode") -> None:
         radio = node.radio
         if radio.is_transmitting:
             # Power-down mid-ShockBurst is illegal; events are
@@ -228,13 +236,14 @@ class FaultInjector:
         if radio.state != "power_down":
             radio.power_down()
 
-    def _reboot(self, node) -> None:
+    def _reboot(self, node: "SensorNode") -> None:
         if node.mac is not None and node.mac.started:
             return  # the matching crash never landed
         node.stack.start_all()
         self.counters_for(node.node_id).reboots += 1
 
-    def _lockup_begin(self, node, duration_s: float) -> None:
+    def _lockup_begin(self, node: "SensorNode",
+                      duration_s: float) -> None:
         until = self._sim.now + seconds(duration_s)
         # Overlapping lockups extend rather than truncate.
         self._lockup_until[node.node_id] = max(
@@ -244,24 +253,27 @@ class FaultInjector:
         self._sim.at(until, lambda: self._lockup_end(node),
                      label=f"fault.lockup_end[{node.node_id}]")
 
-    def _lockup_end(self, node) -> None:
+    def _lockup_end(self, node: "SensorNode") -> None:
         if self._sim.now < self._lockup_until.get(node.node_id, 0):
             return  # a longer overlapping lockup owns the recovery
         node.radio.fault_rx_deaf = False
         self.counters_for(node.node_id).lockup_recoveries += 1
 
-    def _beacon_burst(self, node, count: int) -> None:
+    def _beacon_burst(self, node: "SensorNode",
+                      count: int) -> None:
         node.radio.fault_drop_beacons += count
         self.counters_for(node.node_id).beacon_bursts += 1
 
-    def _clock_step(self, node, offset_ms: float) -> None:
+    def _clock_step(self, node: "SensorNode",
+                    offset_ms: float) -> None:
         node.mac.apply_clock_step(milliseconds(offset_ms))
         self.counters_for(node.node_id).clock_steps += 1
 
     # ------------------------------------------------------------------
     # Brownout (battery-driven crash)
     # ------------------------------------------------------------------
-    def _arm_brownout(self, node, fault: BatteryBrownout) -> None:
+    def _arm_brownout(self, node: "SensorNode",
+                      fault: BatteryBrownout) -> None:
         # Imported lazily: repro.faults must stay importable from
         # repro.net.scenario without closing an import cycle through
         # the net package.

@@ -131,6 +131,9 @@ class Msp430:
     # ------------------------------------------------------------------
     # Cost conversion
     # ------------------------------------------------------------------
+    # The memo write below is value-deterministic (same key, same
+    # value), so callers — including span hooks — observe a pure map.
+    # effect: pure
     def cycles_to_ticks(self, cycles: int) -> int:
         """Duration of ``cycles`` core clock cycles, in simulation ticks."""
         ticks = self._ticks_memo.get(cycles)

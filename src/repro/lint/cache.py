@@ -1,0 +1,189 @@
+"""Content-hash incremental caching for lint runs.
+
+The analysis suite keeps growing (PRs 4–5 added four flow-sensitive
+passes; this PR adds the interprocedural call-graph/effect layer), so a
+full cold run is no longer free.  This cache keeps CI and local lint
+time flat:
+
+* **Per-file rule results** are keyed by the SHA-256 of the file's
+  source text.  Per-file rules are pure functions of
+  ``(source, config)``, so an unchanged file's findings are replayed
+  without re-running a single rule.
+* **Tree-analysis results** (units, state machines, RNG provenance,
+  the interprocedural passes) see every file at once, so they are
+  keyed by the digest of *all* file hashes: any edit anywhere re-runs
+  them, an untouched tree replays findings and report extras verbatim.
+* Both keys are salted with the lint package's own source digest and
+  the resolved configuration, so editing a rule or ``pyproject.toml``
+  invalidates everything — correctness over reuse, exactly like the
+  result cache's code-version salt.
+
+Suppression resolution (waivers, SUP001/SUP002) is *not* cached: it is
+cheap and must see the current source lines.
+
+The cache also powers ``--changed-only``: the engine asks which files
+had a fresh per-file hit and filters the report down to the rest — the
+files the current change actually touched.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .config import LintConfig
+from .engine import Finding
+
+#: Bump to invalidate existing cache files on format changes.
+CACHE_SCHEMA = 1
+
+_SALT_CACHE: Dict[str, str] = {}
+
+
+def _lint_code_salt() -> str:
+    """Digest of the lint package's own source (memoised per process)."""
+    cached = _SALT_CACHE.get("salt")
+    if cached is not None:
+        return cached
+    package = Path(__file__).resolve().parent
+    digest = hashlib.sha256(f"schema={CACHE_SCHEMA};".encode())
+    for path in sorted(package.glob("*.py")):
+        digest.update(path.name.encode())
+        digest.update(path.read_bytes())
+    salt = digest.hexdigest()
+    _SALT_CACHE["salt"] = salt
+    return salt
+
+
+def config_digest(config: LintConfig) -> str:
+    """Stable digest of the resolved configuration.
+
+    ``LintConfig`` is a frozen dataclass of strings and string tuples,
+    so its ``repr`` is canonical.
+    """
+    return hashlib.sha256(repr(config).encode()).hexdigest()
+
+
+def source_digest(source: str) -> str:
+    """Content hash a per-file entry is keyed by."""
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _finding_to_entry(finding: Finding) -> Dict[str, object]:
+    return {"rule": finding.rule, "path": finding.path,
+            "line": finding.line, "col": finding.col,
+            "message": finding.message}
+
+
+def _entry_to_finding(entry: Dict[str, object]) -> Finding:
+    return Finding(rule=str(entry["rule"]), path=str(entry["path"]),
+                   line=int(entry["line"]),  # type: ignore[arg-type]
+                   col=int(entry["col"]),  # type: ignore[arg-type]
+                   message=str(entry["message"]))
+
+
+class LintCache:
+    """On-disk lint result cache for one configuration.
+
+    Load on construction, mutate through ``put_*``, persist with
+    :meth:`save`.  A salt mismatch (lint code or configuration changed)
+    silently starts fresh.
+    """
+
+    def __init__(self, directory: Path, config: LintConfig) -> None:
+        self.directory = Path(directory)
+        self.path = self.directory / "lint-cache.json"
+        self.salt = f"{_lint_code_salt()}:{config_digest(config)}"
+        self.file_hits = 0
+        self.file_misses = 0
+        self.tree_hit = False
+        self._files: Dict[str, Dict[str, object]] = {}
+        self._tree: Optional[Dict[str, object]] = None
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            data = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict) or data.get("salt") != self.salt:
+            return  # cold: lint code, schema or config changed
+        files = data.get("files")
+        if isinstance(files, dict):
+            self._files = files
+        tree = data.get("tree")
+        if isinstance(tree, dict):
+            self._tree = tree
+
+    # -- per-file rule results ------------------------------------------
+
+    def get_file(self, path: str,
+                 digest: str) -> Optional[List[Finding]]:
+        """Cached per-file findings, or None on miss/stale content."""
+        entry = self._files.get(path)
+        if entry is None or entry.get("digest") != digest:
+            self.file_misses += 1
+            return None
+        self.file_hits += 1
+        return [_entry_to_finding(item)  # type: ignore[arg-type]
+                for item in entry.get("findings", ())]
+
+    def put_file(self, path: str, digest: str,
+                 findings: Sequence[Finding]) -> None:
+        self._files[path] = {
+            "digest": digest,
+            "findings": [_finding_to_entry(f) for f in findings],
+        }
+
+    # -- whole-tree analysis results ------------------------------------
+
+    @staticmethod
+    def tree_key(digests: Sequence[Tuple[str, str]]) -> str:
+        """Key over the full ``(path, content digest)`` context set."""
+        hasher = hashlib.sha256()
+        for path, digest in sorted(digests):
+            hasher.update(f"{path}={digest};".encode())
+        return hasher.hexdigest()
+
+    def get_tree(self, key: str
+                 ) -> Optional[Tuple[List[Finding], Dict[str, object]]]:
+        entry = self._tree
+        if entry is None or entry.get("key") != key:
+            return None
+        self.tree_hit = True
+        findings = [_entry_to_finding(item)  # type: ignore[arg-type]
+                    for item in entry.get("findings", ())]
+        extras = entry.get("extras")
+        return findings, dict(extras) if isinstance(extras, dict) else {}
+
+    def put_tree(self, key: str, findings: Sequence[Finding],
+                 extras: Dict[str, object]) -> None:
+        try:
+            encoded = json.loads(json.dumps(extras))
+        except (TypeError, ValueError):
+            encoded = {}  # non-serialisable extras: do not cache them
+        self._tree = {
+            "key": key,
+            "findings": [_finding_to_entry(f) for f in findings],
+            "extras": encoded,
+        }
+
+    # -- persistence -----------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """Hit/miss counters for the report extras."""
+        return {"file_hits": self.file_hits,
+                "file_misses": self.file_misses,
+                "tree_hit": self.tree_hit}
+
+    def save(self) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        document = {"schema": CACHE_SCHEMA, "salt": self.salt,
+                    "files": self._files, "tree": self._tree}
+        self.path.write_text(json.dumps(document), encoding="utf-8")
+
+
+__all__ = ["CACHE_SCHEMA", "LintCache", "config_digest",
+           "source_digest"]

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import ast
 import re
+import time
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
@@ -225,29 +226,62 @@ def _rule_findings(ctx: FileContext) -> List[Finding]:
     return findings
 
 
+def _run_interprocedural(contexts: Sequence[FileContext],
+                         config: LintConfig
+                         ) -> Tuple[List[Finding], Dict[str, object]]:
+    """Build the call graph once, then run effects + fingerprint on it."""
+    from . import effects, fingerprint
+    from .callgraph import build_call_graph
+    timings: Dict[str, float] = {}
+    started = time.perf_counter()
+    graph = build_call_graph(contexts)
+    timings["callgraph"] = round(time.perf_counter() - started, 6)
+    started = time.perf_counter()
+    findings, extras = effects.analyze_effects(contexts, config,
+                                               graph=graph)
+    timings["effects"] = round(time.perf_counter() - started, 6)
+    started = time.perf_counter()
+    fpc_findings, fpc_extras = fingerprint.analyze_fingerprint(
+        contexts, config, graph=graph)
+    timings["fingerprint"] = round(time.perf_counter() - started, 6)
+    findings.extend(fpc_findings)
+    extras.update(fpc_extras)
+    extras["timings"] = timings
+    return findings, extras
+
+
 def _run_tree_analyses(contexts: Sequence[FileContext],
                        config: LintConfig
                        ) -> Tuple[List[Finding], Dict[str, object]]:
     """Run the flow-sensitive analyses over the whole context set.
 
     Unlike per-file rules, a tree analysis sees every parsed file at
-    once: the units pass learns annotations tree-wide, and the
+    once: the units pass learns annotations tree-wide, the
     state-machine pass matches specs in ``core/states.py`` against
-    classes in ``hw/``.  An analysis runs when any of its codes is
-    enabled, and its findings are filtered per code afterwards.
+    classes in ``hw/``, and the interprocedural effect/fingerprint
+    passes share one whole-tree call graph.  An analysis runs when any
+    of its codes is enabled, and its findings are filtered per code
+    afterwards.  Wall-clock timings per analysis land in the report
+    extras (``analyses.timings``) so CI can watch lint cost.
     """
-    from . import rngprov, statemachine, units  # late: they import us
-    analyses: Tuple[Tuple[Tuple[str, ...], object], ...] = (
-        (units.CODES, units.analyze_units),
-        (statemachine.CODES, statemachine.analyze_statemachines),
-        (rngprov.CODES, rngprov.analyze_rng),
+    from . import effects, fingerprint, rngprov, statemachine, units
+    analyses: Tuple[Tuple[str, Tuple[str, ...], object], ...] = (
+        ("units", units.CODES, units.analyze_units),
+        ("statemachine", statemachine.CODES,
+         statemachine.analyze_statemachines),
+        ("rngprov", rngprov.CODES, rngprov.analyze_rng),
+        ("interproc", effects.CODES + fingerprint.CODES,
+         _run_interprocedural),
     )
     findings: List[Finding] = []
     extras: Dict[str, object] = {}
-    for codes, run in analyses:
+    timings: Dict[str, float] = {}
+    for name, codes, run in analyses:
         if not any(config.rule_enabled(code) for code in codes):
             continue
+        started = time.perf_counter()
         result = run(contexts, config)  # type: ignore[operator]
+        elapsed = round(time.perf_counter() - started, 6)
         if isinstance(result, tuple):
             produced, extra = result
         else:
@@ -255,7 +289,12 @@ def _run_tree_analyses(contexts: Sequence[FileContext],
         findings.extend(item for item in produced
                         if config.rule_enabled(item.rule))
         if extra:
+            sub = extra.pop("timings", None)
+            if isinstance(sub, dict):
+                timings.update(sub)
             extras.update(extra)
+        timings[name] = elapsed
+    extras["timings"] = timings
     return findings, extras
 
 
@@ -348,7 +387,9 @@ def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
 
 
 def lint_paths(paths: Sequence[Path],
-               config: Optional[LintConfig] = None) -> LintReport:
+               config: Optional[LintConfig] = None,
+               cache: Optional[object] = None,
+               changed_only: bool = False) -> LintReport:
     """Lint every Python file under ``paths`` into one report.
 
     Parses everything first, then runs per-file rules and the
@@ -356,31 +397,73 @@ def lint_paths(paths: Sequence[Path],
     resolves suppressions file by file (stale-waiver detection needs
     the complete finding list for a file, including findings a tree
     analysis reported into it from another module's spec).
+
+    ``cache`` (a :class:`repro.lint.cache.LintCache`) replays per-file
+    rule results for content-unchanged files and the whole tree
+    analysis for a fully unchanged tree.  ``changed_only`` additionally
+    filters the report to findings in files whose content changed
+    since the cached run (parse errors and cache-less runs count as
+    changed).
     """
+    from .cache import source_digest  # late: cache imports our types
     config = config or LintConfig()
     report = LintReport()
     contexts: List[FileContext] = []
+    digests: Dict[str, str] = {}
+    changed: set = set()
+    rule_results: Dict[str, List[Finding]] = {}
     for file_path in iter_python_files([Path(p) for p in paths]):
         module_path = _module_path(file_path)
         if any(module_path.endswith(suffix) or file_path.match(suffix)
                for suffix in config.exclude):
             continue
         source = file_path.read_text(encoding="utf-8")
+        path = str(file_path)
         ctx, parse_findings = _collect_context(
-            source, str(file_path), config, module_path=module_path)
+            source, path, config, module_path=module_path)
         report.files_scanned += 1
         if ctx is None:
+            changed.add(path)
             report.findings.extend(parse_findings)
             continue
+        digests[path] = source_digest(source)
         contexts.append(ctx)
-    tree_findings, extras = _run_tree_analyses(contexts, config)
+    for ctx in contexts:
+        cached = cache.get_file(ctx.path, digests[ctx.path]) \
+            if cache is not None else None
+        if cached is None:
+            changed.add(ctx.path)
+            found = _rule_findings(ctx)
+            if cache is not None:
+                cache.put_file(ctx.path, digests[ctx.path], found)
+            rule_results[ctx.path] = found
+        else:
+            rule_results[ctx.path] = cached
+    tree_findings: Optional[List[Finding]] = None
+    extras: Dict[str, object] = {}
+    if cache is not None:
+        key = cache.tree_key(sorted(digests.items()))
+        hit = cache.get_tree(key)
+        if hit is not None:
+            tree_findings, extras = hit
+    if tree_findings is None:
+        tree_findings, extras = _run_tree_analyses(contexts, config)
+        if cache is not None:
+            cache.put_tree(key, tree_findings, extras)
+    if cache is not None:
+        extras = dict(extras)
+        extras["cache"] = cache.stats()
+        cache.save()
     report.extras.update(extras)
     by_path: Dict[str, List[Finding]] = {}
     for item in tree_findings:
         by_path.setdefault(item.path, []).append(item)
     for ctx in contexts:
-        findings = _rule_findings(ctx) + by_path.get(ctx.path, [])
+        findings = rule_results[ctx.path] + by_path.get(ctx.path, [])
         report.findings.extend(_finalize_file(ctx, findings))
+    if changed_only:
+        report.findings = [item for item in report.findings
+                           if item.path in changed]
     report.findings.sort(key=Finding.sort_key)
     return report
 

@@ -4,11 +4,11 @@ The JSON document is the CI artifact (schema below); the text form is
 what developers read locally.  Suppressed findings appear in both —
 with their reasons — so waivers stay auditable instead of invisible.
 
-JSON schema (``schema_version`` 2)::
+JSON schema (``schema_version`` 3)::
 
     {
       "tool": "repro.lint",
-      "schema_version": 2,
+      "schema_version": 3,
       "ok": bool,                 # gate: no unsuppressed findings
       "files_scanned": int,
       "summary": {
@@ -28,13 +28,32 @@ JSON schema (``schema_version`` 2)::
                     "states": [...], "declared": [[src, dst], ...],
                     "encoded": [[src, dst], ...]},
           ...
-        }
+        },
+        "call_graph": {           # whole-tree may-call graph
+          "functions": int, "classes": int, "call_sites": int,
+          "resolved_call_sites": int,
+          "edges": [[caller_qualname, callee_qualname], ...]
+        },
+        "effects": {              # fixed-point effect inference
+          "lattice": [...], "forbidden_in_hooks": [...],
+          "functions": {"module::Class.method": ["io", ...], ...},
+          "pure_pins": [...],
+          "hooks": {"span_guards": [...], "hook_methods": [...]}
+        },
+        "fingerprint": {          # cache-fingerprint closure
+          "roots": [...], "closure": [...],
+          "checked_dataclasses": [...]
+        },
+        "timings": {"units": float, "interproc": float, ...}
       }
     }
 
 Version 2 added ``analyses`` (the verified state-machine graphs, so CI
 artifacts double as machine-readable documentation of each component's
-power-state topology) and ``summary.stale_waivers``.
+power-state topology) and ``summary.stale_waivers``.  Version 3 added
+the interprocedural artifacts — ``call_graph``, per-function
+``effects``, the ``fingerprint`` closure — and per-analysis
+``timings``.
 """
 
 from __future__ import annotations
@@ -44,7 +63,7 @@ from typing import Any, Dict, List
 
 from .engine import STALE_RULE, Finding, LintReport
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 
 def finding_to_dict(finding: Finding) -> Dict[str, Any]:

@@ -626,6 +626,46 @@ ANALYSIS_RULES: Dict[str, Rule] = {
              "flow from a seed parameter/attribute or a "
              "Simulator-owned stream (rng.stream(purpose)).",
              _no_check),
+        Rule("OBS001", "hook-guarded statements are sim-pure",
+             "Code that only runs when spans/metrics/trace "
+             "observability is attached (inside an 'if self.spans is "
+             "not None:' guard) must not schedule events, draw RNG, "
+             "book energy, advance time or mutate simulation state — "
+             "otherwise runs with observability on diverge from runs "
+             "with it off, and every recorded energy figure is an "
+             "artifact of being watched.",
+             _no_check),
+        Rule("OBS002", "hook-guarded calls reach only sim-pure code",
+             "The interprocedural form of OBS001: a call inside a "
+             "hook guard must not *transitively* reach a function "
+             "with a forbidden effect.  The effect sets come from a "
+             "fixed-point analysis over the whole-tree call graph; "
+             "the finding names the offending call chain.",
+             _no_check),
+        Rule("OBS003", "pull-based metrics hooks only read",
+             "observe_metrics(registry, ...) implementations are "
+             "polled by the metrics layer; one that mutates "
+             "simulation state turns every scrape into a "
+             "perturbation.  They may only read state and write the "
+             "registry.",
+             _no_check),
+        Rule("FPC001", "no reads of unfingerprinted config attributes",
+             "config_fingerprint encodes exactly the dataclass "
+             "fields of the scenario config closure.  Simulation "
+             "code reading an attribute that is not a field (nor a "
+             "property/method derived from fields) depends on data "
+             "the result-cache key cannot see: two different configs "
+             "hash identically and the cache serves the wrong "
+             "result.",
+             _no_check),
+        Rule("FPC002", "no unfingerprinted config classes in sim code",
+             "A config-shaped dataclass read by simulation code must "
+             "either be reachable from the fingerprint closure or be "
+             "constructed inside salted simulation code (derived "
+             "from fingerprinted fields).  Anything else smuggles "
+             "configuration past the cache key — the cache-poisoning "
+             "shape.",
+             _no_check),
         Rule("SUP002", "no stale waivers",
              "A '# lint: allow(CODE)' comment on a line where CODE "
              "no longer fires documents a constraint that no longer "

@@ -78,8 +78,12 @@ class BaseStation:
                          mcu_clock_hz=self.calibration.mcu_clock_hz)
         self.scheduler.spans = tracer
         self.radio.spans = tracer
-        if self.mac is not None:
-            setattr(self.mac, "spans", tracer)
+        # Only MACs that declare the hook slot consume spans; the ALOHA
+        # family's collector has no span sites, and bolting the
+        # attribute on anyway would widen the attach surface past what
+        # the static OBS audit covers (determinism check 5).
+        if self.mac is not None and hasattr(self.mac, "spans"):
+            self.mac.spans = tracer
 
     def _deliver(self, frame: Frame) -> None:
         self.received.setdefault(frame.src, []).append(frame)

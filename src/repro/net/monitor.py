@@ -16,7 +16,11 @@ negligible at the paper's scale).
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Callable, Deque, Dict, List, Optional,
+                    Tuple)
+
+if TYPE_CHECKING:
+    from ..obs.metrics import MetricsRegistry
 
 from ..hw.battery import Battery
 from ..sim.simtime import seconds, to_seconds
@@ -50,7 +54,7 @@ class BatteryMonitor:
                  sample_period_s: float = 1.0,
                  thresholds: Tuple[float, ...] = (0.5, 0.2, 0.05),
                  history_capacity: Optional[int] = None,
-                 metrics=None) -> None:
+                 metrics: Optional["MetricsRegistry"] = None) -> None:
         if sample_period_s <= 0:
             raise ValueError(
                 f"sample period must be positive: {sample_period_s}")

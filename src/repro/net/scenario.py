@@ -21,7 +21,7 @@ Measurement methodology (matching the paper's Section 5 setup):
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
 
 from ..apps.adaptive import AdaptiveCardiacApp
 from ..apps.ecg_streaming import EcgStreamingApp, codes_per_payload
@@ -51,6 +51,7 @@ from .basestation import BaseStation
 from .node import SensorNode
 
 if TYPE_CHECKING:
+    from ..apps.base import SamplingApplication
     from ..obs.spans import SpanTracer
 
 #: Supported MAC identifiers.
@@ -357,10 +358,11 @@ class BanScenario:
                 self._install_deep_sleep(node, mac, app)
             self.nodes.append(node)
 
-    def _install_deep_sleep(self, node: SensorNode, mac, app) -> None:
+    def _install_deep_sleep(self, node: SensorNode, mac: Any,
+                            app: "SamplingApplication") -> None:
         from ..tinyos.power import ThresholdDeepSleep
 
-        def provider():
+        def provider() -> Optional[int]:
             hints = [app.next_wake_hint()]
             mac_hint = getattr(mac, "next_wake_hint", None)
             if mac_hint is not None:
@@ -429,8 +431,8 @@ class BanScenario:
         codes = codes_per_payload(spec.payload_bytes)
         return codes / len(spec.channels) / cycle_s
 
-    def _build_app(self, node: SensorNode, mac, sampling_hz: float,
-                   spec: Optional[NodeSpec]):
+    def _build_app(self, node: SensorNode, mac: Any, sampling_hz: float,
+                   spec: Optional[NodeSpec]) -> "SamplingApplication":
         config = self.config
         cal = config.calibration
         app = spec.app if spec is not None else config.app
@@ -542,7 +544,7 @@ class BanScenario:
         return max(leads) if leads else 0
 
 
-def run_scenario(**kwargs) -> NetworkEnergyResult:
+def run_scenario(**kwargs: Any) -> NetworkEnergyResult:
     """One-call convenience: build a scenario from keyword arguments
     (see :class:`BanScenarioConfig`) and run it."""
     return BanScenario(BanScenarioConfig(**kwargs)).run()

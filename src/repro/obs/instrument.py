@@ -27,13 +27,19 @@ their callbacks mutate nothing, so every energy figure is unchanged).
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..sim.simtime import seconds, to_seconds
+
+if TYPE_CHECKING:
+    from ..exec.cache import ResultCache
+    from ..net.scenario import BanScenario
+    from ..sim.kernel import Simulator
 from .metrics import GLOBAL, MetricsRegistry
 
 
-def collect_simulator_metrics(sim, registry: MetricsRegistry) -> None:
+def collect_simulator_metrics(sim: "Simulator",
+                              registry: MetricsRegistry) -> None:
     """Record the kernel's dispatch and queue figures.
 
     ``events_dispatched`` is a counter (additive across merged worker
@@ -47,7 +53,8 @@ def collect_simulator_metrics(sim, registry: MetricsRegistry) -> None:
         to_seconds(sim.now))
 
 
-def collect_scenario_metrics(scenario, registry: MetricsRegistry) -> None:
+def collect_scenario_metrics(scenario: "BanScenario",
+                             registry: MetricsRegistry) -> None:
     """Walk a built BAN scenario and pull every model's metrics.
 
     Works for :class:`~repro.net.scenario.BanScenario` (and any object
@@ -71,7 +78,8 @@ def collect_scenario_metrics(scenario, registry: MetricsRegistry) -> None:
         injector.observe_metrics(registry)
 
 
-def collect_cache_metrics(cache, registry: MetricsRegistry) -> None:
+def collect_cache_metrics(cache: "ResultCache",
+                          registry: MetricsRegistry) -> None:
     """Record a :class:`~repro.exec.cache.ResultCache`'s counters."""
     stats = cache.stats
     registry.counter("cache", GLOBAL, "hits").inc(stats.hits)
@@ -93,7 +101,9 @@ class PeriodicSnapshotter:
     ``events_dispatched`` grows by the number of fires).
     """
 
-    def __init__(self, sim, scenario, registry: MetricsRegistry,
+    def __init__(self, sim: "Simulator",
+                 scenario: Optional["BanScenario"],
+                 registry: MetricsRegistry,
                  period_s: float,
                  series_capacity: Optional[int] = None) -> None:
         if period_s <= 0:
@@ -134,8 +144,10 @@ class PeriodicSnapshotter:
                        label="obs.snapshot")
 
 
-def attach_periodic_snapshots(sim, registry: MetricsRegistry,
-                              scenario=None, period_s: float = 5.0,
+def attach_periodic_snapshots(sim: "Simulator",
+                              registry: MetricsRegistry,
+                              scenario: Optional["BanScenario"] = None,
+                              period_s: float = 5.0,
                               series_capacity: Optional[int] = None
                               ) -> PeriodicSnapshotter:
     """Arm a :class:`PeriodicSnapshotter` on ``sim`` and return it."""

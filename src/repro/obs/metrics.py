@@ -327,7 +327,8 @@ class MetricsRegistry:
             lines.append(f"# HELP {family} {_prom_escape(help_text)}")
             lines.append(f"# TYPE {family} {kind}")
 
-        def sample(name: str, labels: Dict[str, str], value) -> str:
+        def sample(name: str, labels: Dict[str, str],
+                   value: object) -> str:
             body = ",".join(f'{k}="{_prom_escape(v)}"'
                             for k, v in labels.items())
             return f"{prefix}_{_prom_name(name)}{{{body}}} {value}"

@@ -79,7 +79,7 @@ class JsonlTraceSink(TraceSink):
     def __enter__(self) -> "JsonlTraceSink":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         # Runs on exceptional unwind too: everything emitted before the
         # exception is flushed to disk, so post-mortems see the trace
         # up to the failure point.

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Iterable, Set, Tuple
+from typing import Any, Dict, Iterable, Set, Tuple
 
 
 class Topology:
@@ -28,7 +28,7 @@ class Topology:
         """Whether a frame transmitted by ``src`` reaches ``dst``."""
         raise NotImplementedError
 
-    def connectivity_graph(self, nodes: Iterable[str]):
+    def connectivity_graph(self, nodes: Iterable[str]) -> Any:
         """Reachability as a ``networkx.DiGraph`` (requires networkx)."""
         import networkx as nx
         graph = nx.DiGraph()

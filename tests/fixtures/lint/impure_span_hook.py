@@ -1,0 +1,44 @@
+"""Seeded-bug fixture: a spans hook guard that perturbs the simulation.
+
+Linted with ``module_path="mac/impure_span_hook.py"`` so the effect
+pass treats it as simulation code.  The ``enqueue`` method hides two
+classic perturbation bugs inside its ``spans is not None`` guard: it
+schedules a kernel event and mutates the transmit queue — both only
+when observability is attached, which is exactly the divergence
+determinism check 4 exists to catch at runtime and OBS001/OBS002 catch
+here statically.
+"""
+
+from typing import Callable, List, Optional
+
+
+class SpanTracer:
+    """Stand-in tracer whose hook methods are sim-pure (reads only)."""
+
+    def packet_queued(self, node: str) -> None:
+        """A well-behaved hook: observes, touches nothing."""
+
+
+class Simulator:
+    def __init__(self) -> None:
+        self.now = 0
+
+    def at(self, when: int, callback: Callable[[], None]) -> None:
+        """Schedules an event (intrinsically effectful)."""
+
+
+class NodeMac:
+    def __init__(self, sim: Simulator) -> None:
+        self._sim = sim
+        self.spans: Optional[SpanTracer] = None
+        self._queue: List[object] = []
+
+    def _flush(self) -> None:
+        self._queue.clear()
+
+    def enqueue(self, frame: object) -> None:
+        self._queue.append(frame)
+        if self.spans is not None:
+            self.spans.packet_queued("n0")  # pure: allowed in a hook
+            self._sim.at(self._sim.now + 10, self._flush)  # seeded bug
+            self._queue.pop()  # seeded bug: spans-on drops the frame

@@ -1,0 +1,42 @@
+"""Seeded-bug fixture: config state the cache fingerprint cannot see.
+
+Linted with ``module_path="net/unfingerprinted_field.py"`` so the FPC
+pass treats it as salted simulation code.  Two cache-poisoning shapes:
+
+* ``BanScenarioConfig.debug_gain`` is set in ``__post_init__`` but is
+  **not** a dataclass field, so ``config_fingerprint`` never encodes
+  it — two configs differing only in ``debug_gain`` hash identically
+  (FPC001 at the read site).
+* ``TuningConfig`` is a config dataclass the simulation reads, but it
+  is neither reachable from the fingerprint closure nor constructed
+  inside simulation code: its values bypass the cache key entirely
+  (FPC002 at the class definition).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class BanScenarioConfig:
+    """Fixture twin of the real scenario config (closure root)."""
+
+    mac: str = "static"
+    seed: int = 0
+    measure_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        self.debug_gain = 1.0  # assigned, but not a field
+
+
+@dataclass(frozen=True)
+class TuningConfig:
+    """Config-shaped dataclass that never joins the fingerprint."""
+
+    gain: float = 1.0
+
+
+def simulated_energy(config: BanScenarioConfig,
+                     tuning: TuningConfig) -> float:
+    """Simulation code reading both poisoning shapes."""
+    base = config.measure_s  # fine: a fingerprinted field
+    return base * config.debug_gain * tuning.gain
