@@ -233,6 +233,17 @@ class _Observability:
             print()
             print(self.profiler.render_table())
 
+    def close(self) -> None:
+        """Flush the trace sink even when the command aborts mid-run.
+
+        Idempotent: ``finish()`` already closed the sink on the happy
+        path; this is the unwind-path backstop (``try/finally`` in the
+        sink-opening commands) so an exception never loses exactly the
+        trace records that would explain it.
+        """
+        if self._sink is not None:
+            self._sink.close()
+
     def note_analytic(self) -> None:
         """Warn once when telemetry flags hit an analytic command."""
         if (self.metrics_path or self.trace_path
@@ -460,6 +471,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = _scenario_config(args, join_protocol=args.join, **extra)
     scenario = BanScenario(
         config, trace=obs.make_trace(config.trace_capacity))
+    try:
+        return _run_scenario_command(args, obs, scenario)
+    finally:
+        obs.close()
+
+
+def _run_scenario_command(args: argparse.Namespace, obs: _Observability,
+                          scenario: BanScenario) -> int:
     obs.attach(scenario.sim, scenario)
     if obs.span_store is not None:
         obs.attach_spans(scenario)
@@ -521,12 +540,15 @@ def _cmd_spans(args: argparse.Namespace) -> int:
     config = _scenario_config(args, join_protocol=args.join)
     scenario = BanScenario(
         config, trace=obs.make_trace(config.trace_capacity))
-    obs.attach(scenario.sim, scenario)
-    tracer = obs.attach_spans(scenario)
-    scenario.run()
-    obs.collect(scenario)
-    print(attribution_report(tracer.store, scenario))
-    obs.finish()
+    try:
+        obs.attach(scenario.sim, scenario)
+        tracer = obs.attach_spans(scenario)
+        scenario.run()
+        obs.collect(scenario)
+        print(attribution_report(tracer.store, scenario))
+        obs.finish()
+    finally:
+        obs.close()
     return 0
 
 
@@ -563,28 +585,32 @@ def _cmd_interference(args: argparse.Namespace) -> int:
     ]
     multi = MultiBanScenario(configs, stagger_ms=args.stagger_ms,
                              seed=args.seed, trace=obs.make_trace())
-    obs.attach(multi.sim)
-    if obs.span_store is not None:
-        tracer = SpanTracer(obs.span_store)
-        for ban in multi.bans:
-            obs.attach_spans(ban, tracer)
-    results = multi.run()
-    if obs.registry is not None:
-        for ban in multi.bans:
-            collect_scenario_metrics(ban, obs.registry)
-        collect_simulator_metrics(multi.sim, obs.registry)
-    print(multi.interference_summary(results))
-    print()
-    rows = []
-    for ban_name in sorted(results):
-        for node_id in sorted(results[ban_name].nodes):
-            node = results[ban_name].nodes[node_id]
-            rows.append((node_id, node.radio_mj, node.mcu_mj,
-                         node.traffic.overheard, node.traffic.corrupted))
-    print(render_table(
-        ["node", "radio (mJ)", "uC (mJ)", "overheard", "corrupted"],
-        rows, title="Per-node figures under co-channel interference"))
-    obs.finish()
+    try:
+        obs.attach(multi.sim)
+        if obs.span_store is not None:
+            tracer = SpanTracer(obs.span_store)
+            for ban in multi.bans:
+                obs.attach_spans(ban, tracer)
+        results = multi.run()
+        if obs.registry is not None:
+            for ban in multi.bans:
+                collect_scenario_metrics(ban, obs.registry)
+            collect_simulator_metrics(multi.sim, obs.registry)
+        print(multi.interference_summary(results))
+        print()
+        rows = []
+        for ban_name in sorted(results):
+            for node_id in sorted(results[ban_name].nodes):
+                node = results[ban_name].nodes[node_id]
+                rows.append((node_id, node.radio_mj, node.mcu_mj,
+                             node.traffic.overheard,
+                             node.traffic.corrupted))
+        print(render_table(
+            ["node", "radio (mJ)", "uC (mJ)", "overheard", "corrupted"],
+            rows, title="Per-node figures under co-channel interference"))
+        obs.finish()
+    finally:
+        obs.close()
     return 0
 
 

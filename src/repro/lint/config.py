@@ -134,6 +134,9 @@ class LintConfig:
     fpc_pattern: str = DEFAULT_FPC_PATTERN
     #: Packages treated as simulation code by the FPC rules.
     fpc_packages: Tuple[str, ...] = DEFAULT_FPC_PACKAGES
+    #: Module-path suffixes the lifecycle pass (LIF rules) skips.
+    lifecycle_exclude_modules: Tuple[str, ...] = field(
+        default_factory=tuple)
     #: Module-path suffixes skipped entirely (fixtures, vendored code).
     exclude: Tuple[str, ...] = field(default_factory=tuple)
 
@@ -226,6 +229,11 @@ def config_from_table(table: Dict[str, Any]) -> LintConfig:
     fpc_packages = _str_tuple(fpc, "packages", "tool.repro-lint.fpc")
     _reject_unknown(fpc, "tool.repro-lint.fpc")
 
+    lifecycle = dict(table.pop("lifecycle", {}))
+    lifecycle_exclude = _str_tuple(lifecycle, "exclude_modules",
+                                   "tool.repro-lint.lifecycle")
+    _reject_unknown(lifecycle, "tool.repro-lint.lifecycle")
+
     _reject_unknown(table, "tool.repro-lint")
     return LintConfig(
         select=select,
@@ -259,6 +267,9 @@ def config_from_table(table: Dict[str, Any]) -> LintConfig:
                      else fpc_pattern),
         fpc_packages=(defaults.fpc_packages if fpc_packages is None
                       else fpc_packages),
+        lifecycle_exclude_modules=(
+            defaults.lifecycle_exclude_modules
+            if lifecycle_exclude is None else lifecycle_exclude),
         exclude=() if exclude is None else exclude,
     )
 

@@ -4,11 +4,11 @@ The JSON document is the CI artifact (schema below); the text form is
 what developers read locally.  Suppressed findings appear in both —
 with their reasons — so waivers stay auditable instead of invisible.
 
-JSON schema (``schema_version`` 3)::
+JSON schema (``schema_version`` 4)::
 
     {
       "tool": "repro.lint",
-      "schema_version": 3,
+      "schema_version": 4,
       "ok": bool,                 # gate: no unsuppressed findings
       "files_scanned": int,
       "summary": {
@@ -44,6 +44,13 @@ JSON schema (``schema_version`` 3)::
           "roots": [...], "closure": [...],
           "checked_dataclasses": [...]
         },
+        "lifecycle": {            # typestate verification artifacts
+          "specs": [{"resource": str, "module": str,
+                     "classes": [...], "boundary": [[a, r], ...]},
+                    ...],
+          "functions_walked": int,
+          "boundary_obligations": int
+        },
         "timings": {"units": float, "interproc": float, ...}
       }
     }
@@ -53,7 +60,13 @@ artifacts double as machine-readable documentation of each component's
 power-state topology) and ``summary.stale_waivers``.  Version 3 added
 the interprocedural artifacts — ``call_graph``, per-function
 ``effects``, the ``fingerprint`` closure — and per-analysis
-``timings``.
+``timings``.  Version 4 added the ``lifecycle`` artifacts (the
+declared protocols and how many boundary obligations were proven)
+and, in parallel runs (``--jobs N``), ``timings.jobs`` plus
+``timings.pool_wall``; the per-analysis timing keys are identical in
+both modes (each pool task mirrors one sequential analysis, with the
+effect/fingerprint/lifecycle passes sharing a single ``interproc``
+call graph either way).
 """
 
 from __future__ import annotations
@@ -63,7 +76,7 @@ from typing import Any, Dict, List
 
 from .engine import STALE_RULE, Finding, LintReport
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 
 def finding_to_dict(finding: Finding) -> Dict[str, Any]:

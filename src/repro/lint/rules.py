@@ -666,6 +666,44 @@ ANALYSIS_RULES: Dict[str, Rule] = {
              "configuration past the cache key — the cache-poisoning "
              "shape.",
              _no_check),
+        Rule("LIF001", "acquired resources are released on exit",
+             "A resource acquired on every path through a declared "
+             "boundary's acquire hook (radio power_up in on_start, a "
+             "periodic handle stored in on_start, a span phase "
+             "opened) must be released on every path out of its "
+             "release hook.  A leak never crashes — it silently "
+             "corrupts the energy integral: a radio left in standby "
+             "books 0.9 mA forever.  The finding carries the witness "
+             "exit path.",
+             _no_check),
+        Rule("LIF002", "no release without a matching acquire",
+             "Releasing a resource that is already released on every "
+             "path to the call (a second power_down) is an error for "
+             "non-idempotent releases: the nRF2401 model raises "
+             "RadioError at runtime; this proves it can't happen "
+             "statically.",
+             _no_check),
+        Rule("LIF003", "no use-after-release",
+             "send/start_rx/cca on a radio that every path has "
+             "already powered down is the use-after-release the "
+             "runtime RadioError guards catch dynamically.  Proving "
+             "it statically means the guard can never fire in "
+             "committed code.",
+             _no_check),
+        Rule("LIF004", "every resource has an owner",
+             "A discarded periodic handle can never be cancelled; an "
+             "unconditionally self-rescheduling one-shot with a "
+             "discarded handle is a periodic in disguise; a "
+             "constructed sink stored on self that no method ever "
+             "closes is never flushed.  Ownerless resources outlive "
+             "every stop path.",
+             _no_check),
+        Rule("LIF005", "acquire and release guards stay correlated",
+             "A conditional acquire whose release is guarded by a "
+             "*different* condition leaks exactly when the two "
+             "conditions disagree — the hardest leak to hit in "
+             "testing because both guards usually co-vary.",
+             _no_check),
         Rule("SUP002", "no stale waivers",
              "A '# lint: allow(CODE)' comment on a line where CODE "
              "no longer fires documents a constraint that no longer "

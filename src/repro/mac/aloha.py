@@ -222,8 +222,13 @@ class AlohaBaseMac(Component):
         self._radio.start_rx()
 
     def on_stop(self) -> None:
+        # Release the radio, not just the RX state: a collector left in
+        # stand-by after its window keeps booking 0.9 mA forever.  The
+        # collector never transmits, so no mid-ShockBurst deferral is
+        # needed here.
         if self._radio.is_receiving:
             self._radio.stop_rx()
+        self._radio.power_down()
 
     def _on_frame(self, frame: Frame) -> None:
         if frame.kind is not FrameKind.DATA:

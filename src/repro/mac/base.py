@@ -41,6 +41,7 @@ from typing import TYPE_CHECKING, Callable, Optional, Tuple
 from ..core.calibration import ModelCalibration
 from ..hw.frames import Frame, FrameKind
 from ..hw.radio import Nrf2401, TxOutcome
+from ..sim.events import EventEntry, cancel_event
 from ..sim.kernel import Simulator
 from ..sim.simtime import TICKS_PER_SECOND, microseconds
 from ..sim.trace import TraceRecorder
@@ -187,6 +188,7 @@ class NodeMac(Component):
         self._beacon_seen_this_window = False
         self._window_serial = 0
         self._join_pending = False
+        self._stop_pending = False
         self._next_window_open: Optional[int] = None
         self._next_slot_time: Optional[int] = None
         self._next_expected_beacon: Optional[int] = None
@@ -255,6 +257,7 @@ class NodeMac(Component):
     # Lifecycle
     # ------------------------------------------------------------------
     def on_start(self) -> None:
+        self._stop_pending = False
         self._radio.power_up()
         if self._preassigned_slot is not None:
             if self._first_beacon is None:
@@ -275,8 +278,16 @@ class NodeMac(Component):
             self._enter_acquisition()
 
     def on_stop(self) -> None:
+        # Stopping the MAC releases the radio: a node left in stand-by
+        # after its stack stops keeps accruing stand-by current against
+        # a node that is no longer running.  Mid-ShockBurst the chip
+        # cannot be switched off; defer to the TX-completion callback.
         if self._radio.is_receiving:
             self._radio.stop_rx()
+        if self._radio.is_transmitting:
+            self._stop_pending = True
+            return
+        self._radio.power_down()
 
     @property
     def slot(self) -> Optional[int]:
@@ -619,12 +630,26 @@ class NodeMac(Component):
         # The MCU prepares the packet and clocks it into the radio FIFO;
         # the ShockBurst event itself starts when the task body runs.
         self._scheduler.post(
-            lambda: self._radio.send(frame, self._data_tx_done),
+            lambda: self._send_data(frame),
             self._cal.mcu_costs.packet_preparation,
             label=self._label_pkt_prep)
 
+    def _send_data(self, frame: Frame) -> None:
+        # The prep task may drain after a stop (crash faults power the
+        # radio down); sending then would be a RadioError.
+        if not self.started:
+            return
+        self._radio.send(frame, self._data_tx_done)
+
     def _data_tx_done(self, outcome: TxOutcome) -> None:
         self.counters.data_sent += 1
+        self._complete_deferred_stop()
+
+    def _complete_deferred_stop(self) -> None:
+        """Finish an ``on_stop`` that found the radio mid-ShockBurst."""
+        if self._stop_pending and not self.started:
+            self._stop_pending = False
+            self._radio.power_down()
 
     # ------------------------------------------------------------------
     # Slot requests (helpers for the variants)
@@ -646,9 +671,18 @@ class NodeMac(Component):
             self.spans.packet_queued(frame, self._sim.now,
                                      self._label_ssr)
         self._scheduler.post(
-            lambda: self._radio.send(frame),
+            lambda: self._send_ssr(frame),
             self._cal.mcu_costs.packet_preparation,
             label=self._label_ssr)
+
+    def _send_ssr(self, frame: Frame) -> None:
+        if not self.started:
+            return  # stack stopped between the prep post and the drain
+        self._radio.send(frame, self._ssr_tx_done)
+
+    def _ssr_tx_done(self, outcome: TxOutcome) -> None:
+        # A stop that landed mid-SSR deferred its power_down here.
+        self._complete_deferred_stop()
 
 
 class BaseStationMac(Component):
@@ -682,6 +716,8 @@ class BaseStationMac(Component):
         #: alignment and diagnostics).
         self.next_beacon_ticks = first_beacon_ticks
         self._sequence = 0
+        self._beacon_event: Optional[EventEntry] = None
+        self._stop_pending = False
         # Event/task labels are stable per instance; precompute them so
         # the per-cycle and per-frame paths avoid f-string formatting.
         name = self.name
@@ -729,13 +765,26 @@ class BaseStationMac(Component):
     # Lifecycle
     # ------------------------------------------------------------------
     def on_start(self) -> None:
+        self._stop_pending = False
         self._radio.power_up()
-        self._sim.at(self._first_beacon, self._beacon_time,
-                     label=self._label_beacon)
+        self._beacon_event = self._sim.at(
+            self._first_beacon, self._beacon_time,
+            label=self._label_beacon)
 
     def on_stop(self) -> None:
+        # Cancel the beacon cadence (it would otherwise keep the
+        # station broadcasting forever) and release the radio; if a
+        # beacon ShockBurst is in flight the power-down is deferred to
+        # its completion callback.
+        if self._beacon_event is not None:
+            cancel_event(self._beacon_event)
+            self._beacon_event = None
         if self._radio.is_receiving:
             self._radio.stop_rx()
+        if self._radio.is_transmitting:
+            self._stop_pending = True
+            return
+        self._radio.power_down()
 
     # ------------------------------------------------------------------
     # Beacon cadence
@@ -762,15 +811,27 @@ class BaseStationMac(Component):
             self.spans.packet_queued(frame, self._sim.now,
                                      self._label_beacon_prep)
         self._scheduler.post(
-            lambda: self._radio.send(frame, self._beacon_sent),
+            lambda: self._send_beacon(frame),
             self._cal.mcu_costs.packet_preparation,
             label=self._label_beacon_prep)
         self.next_beacon_ticks = self._sim.now + cycle
-        self._sim.at(self.next_beacon_ticks, self._beacon_time,
-                     label=self._label_beacon)
+        self._beacon_event = self._sim.at(
+            self.next_beacon_ticks, self._beacon_time,
+            label=self._label_beacon)
+
+    def _send_beacon(self, frame: Frame) -> None:
+        if not self.started:
+            return  # stopped between the prep post and the task drain
+        self._radio.send(frame, self._beacon_sent)
 
     def _beacon_sent(self, outcome: TxOutcome) -> None:
         self.counters.beacons_sent += 1
+        if self._stop_pending and not self.started:
+            # on_stop landed mid-beacon: complete the deferred release
+            # instead of re-opening the receive chain.
+            self._stop_pending = False
+            self._radio.power_down()
+            return
         # Listen for the rest of the cycle (R region of Figure 2).
         self._radio.start_rx()
 

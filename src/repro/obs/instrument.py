@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Optional
 
+from ..sim.events import EventEntry, cancel_event
 from ..sim.simtime import seconds, to_seconds
 
 if TYPE_CHECKING:
@@ -115,16 +116,28 @@ class PeriodicSnapshotter:
         self.series_capacity = series_capacity
         self.samples = 0
         self._armed = False
+        self._event: Optional[EventEntry] = None
 
     def start(self) -> None:
         """Arm the first fire one period from now."""
         if self._armed:
             raise RuntimeError("snapshotter already started")
         self._armed = True
-        self.sim.after(self.period_ticks, self._fire,
-                       label="obs.snapshot")
+        self._event = self.sim.after(self.period_ticks, self._fire,
+                                     label="obs.snapshot")
+
+    def stop(self) -> None:
+        """Disarm: cancel the pending fire and stop re-scheduling."""
+        if not self._armed:
+            return
+        self._armed = False
+        if self._event is not None:
+            cancel_event(self._event)
+            self._event = None
 
     def _fire(self) -> None:
+        if not self._armed:
+            return  # disarmed while this fire was already in flight
         now_s = to_seconds(self.sim.now)
         registry = self.registry
         cap = self.series_capacity
@@ -140,8 +153,8 @@ class PeriodicSnapshotter:
                 registry.series("mcu", node.node_id, "energy_mj",
                                 cap).append(now_s, node.mcu.energy_mj())
         self.samples += 1
-        self.sim.after(self.period_ticks, self._fire,
-                       label="obs.snapshot")
+        self._event = self.sim.after(self.period_ticks, self._fire,
+                                     label="obs.snapshot")
 
 
 def attach_periodic_snapshots(sim: "Simulator",

@@ -1,0 +1,112 @@
+"""Seeded-bug fixture: scheduling handles nobody can ever cancel.
+
+``DanglingSampler`` discards the handle of a periodic ``every()``
+event, so the tick outlives the component with no way to stop it
+(LIF004).  ``RearmingSampler`` is the same bug in disguise: a one-shot
+``after()`` whose callback unconditionally re-schedules itself.  The
+fixed twins — ``OwnedSampler`` (stores the periodic handle and
+cancels it on the stop boundary) and ``GuardedSampler`` (early-exit
+guard before the re-arm) — must stay silent.
+
+The spec is co-located as a pure literal; the analyzer never imports
+this file.
+"""
+
+from typing import Any, Callable, List, Optional
+
+from repro.core.lifecycles import LifecycleSpec
+
+FIXTURE_SCHED = LifecycleSpec(
+    resource="fake-tick",
+    module="sim/fake_kernel.py",
+    class_names=("FakeKernel",),
+    release=("cancel_event",),
+    boundary=(("on_start", "on_stop"),),
+    handle_factories=("every",),
+    reschedule_factories=("at", "after"),
+)
+
+
+def cancel_event(entry: List[Any]) -> None:
+    """Disarm a scheduled entry in place (mirrors the kernel API)."""
+    entry[-1] = None
+
+
+class FakeKernel:
+    """Minimal scheduler; its own methods are lifecycle-exempt."""
+
+    def every(self, period: float,
+              callback: Callable[[], None]) -> List[Any]:
+        return [period, callback]
+
+    def after(self, delay: float,
+              callback: Callable[[], None]) -> List[Any]:
+        return [delay, callback]
+
+    def at(self, when: float,
+           callback: Callable[[], None]) -> List[Any]:
+        return [when, callback]
+
+
+class DanglingSampler:
+    """BUG(LIF004): the periodic handle is discarded on arm."""
+
+    def __init__(self, sim: FakeKernel) -> None:
+        self._sim = sim
+        self.samples = 0
+
+    def on_start(self) -> None:
+        self._sim.every(1.0, self._sample)  # handle dropped
+
+    def on_stop(self) -> None:
+        self.samples = 0  # nothing can cancel the tick now
+
+    def _sample(self) -> None:
+        self.samples += 1
+
+
+class RearmingSampler:
+    """BUG(LIF004): a one-shot that unconditionally re-arms itself."""
+
+    def __init__(self, sim: FakeKernel) -> None:
+        self._sim = sim
+        self.samples = 0
+
+    def _sample(self) -> None:
+        self.samples += 1
+        self._sim.after(1.0, self._sample)  # periodic in disguise
+
+
+class OwnedSampler:
+    """Fixed twin: the handle is stored and cancelled on stop."""
+
+    def __init__(self, sim: FakeKernel) -> None:
+        self._sim = sim
+        self._tick: Optional[List[Any]] = None
+        self.samples = 0
+
+    def on_start(self) -> None:
+        self._tick = self._sim.every(1.0, self._sample)
+
+    def on_stop(self) -> None:
+        if self._tick is not None:
+            cancel_event(self._tick)
+        self._tick = None
+
+    def _sample(self) -> None:
+        self.samples += 1
+
+
+class GuardedSampler:
+    """Fixed twin: the re-arm sits behind a stopped-state guard."""
+
+    def __init__(self, sim: FakeKernel) -> None:
+        self._sim = sim
+        self._running = False
+        self.samples = 0
+
+    def _sample(self) -> None:
+        if not self._running:
+            return
+        self.samples += 1
+        self._sim.after(1.0, self._sample)

@@ -1,0 +1,75 @@
+"""Seeded-bug fixture: a radio leaked across a stop boundary.
+
+``LeakyMac.on_start`` powers the radio up on every path, but its
+``on_stop`` never powers it down — after the component stops, the
+fake radio books stand-by current forever (LIF001).  ``PairedMac`` is
+the fixed twin: identical shape, with the release on the stop path —
+it must stay silent, which is what makes the finding a proof about
+the bug and not about the pattern.
+
+The spec is co-located as a pure literal: the analyzer reads it out
+of this file's AST without importing it.
+"""
+
+from repro.core.lifecycles import LifecycleSpec
+
+FIXTURE_RADIO = LifecycleSpec(
+    resource="fake-radio",
+    module="hw/fake_radio.py",
+    class_names=("FakeRadio",),
+    acquire=("power_up",),
+    release=("power_down",),
+    uses=("send", "start_rx"),
+    idempotent_release=False,
+    boundary=(("on_start", "on_stop"),),
+)
+
+
+class FakeRadio:
+    """Two-state transceiver; its own methods are lifecycle-exempt."""
+
+    def __init__(self) -> None:
+        self.state = "power_down"
+
+    def power_up(self) -> None:
+        self.state = "standby"
+
+    def power_down(self) -> None:
+        self.state = "power_down"
+
+    def send(self, payload: bytes) -> None:
+        self.state = "tx"
+
+    def start_rx(self) -> None:
+        self.state = "rx"
+
+
+class LeakyMac:
+    """BUG(LIF001): powers up on start, never powers down on stop."""
+
+    def __init__(self, radio: FakeRadio) -> None:
+        self._radio = radio
+        self._started = False
+
+    def on_start(self) -> None:
+        self._radio.power_up()
+        self._started = True
+
+    def on_stop(self) -> None:
+        self._started = False  # the radio stays in stand-by forever
+
+
+class PairedMac:
+    """Fixed twin: the stop path releases what the start path took."""
+
+    def __init__(self, radio: FakeRadio) -> None:
+        self._radio = radio
+        self._started = False
+
+    def on_start(self) -> None:
+        self._radio.power_up()
+        self._started = True
+
+    def on_stop(self) -> None:
+        self._started = False
+        self._radio.power_down()

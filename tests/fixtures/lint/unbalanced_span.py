@@ -1,0 +1,61 @@
+"""Seeded-bug fixture: a span phase opened but never closed.
+
+Span phases open in one callback and close in another, so the pairing
+is a *class*-granularity property: ``HalfOpenComponent`` calls
+``phase_open`` somewhere but no method of it ever calls
+``phase_close`` — every open leaves a dangling phase and the trace
+tree never terminates (LIF001).  ``BalancedComponent`` closes in a
+different callback than it opens, which is legal and must stay
+silent.
+
+The spec is co-located as a pure literal; the analyzer never imports
+this file.
+"""
+
+from typing import List, Tuple
+
+from repro.core.lifecycles import LifecycleSpec
+
+FIXTURE_SPAN = LifecycleSpec(
+    resource="fake-span",
+    module="obs/fake_spans.py",
+    class_names=("FakeSpans",),
+    class_paired=(("phase_open", "phase_close"),),
+)
+
+
+class FakeSpans:
+    """Minimal span recorder; its own methods are lifecycle-exempt."""
+
+    def __init__(self) -> None:
+        self.open_phases: List[str] = []
+        self.closed: List[Tuple[str, float]] = []
+
+    def phase_open(self, label: str) -> None:
+        self.open_phases.append(label)
+
+    def phase_close(self, label: str, elapsed: float) -> None:
+        self.closed.append((label, elapsed))
+
+
+class HalfOpenComponent:
+    """BUG(LIF001): opens a phase no method of the class closes."""
+
+    def __init__(self, spans: FakeSpans) -> None:
+        self._spans = spans
+
+    def begin_tx(self) -> None:
+        self._spans.phase_open("tx")  # never paired with phase_close
+
+
+class BalancedComponent:
+    """Fixed twin: opens in one callback, closes in another."""
+
+    def __init__(self, spans: FakeSpans) -> None:
+        self._spans = spans
+
+    def begin_tx(self) -> None:
+        self._spans.phase_open("tx")
+
+    def tx_done(self, elapsed: float) -> None:
+        self._spans.phase_close("tx", elapsed)

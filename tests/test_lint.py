@@ -369,7 +369,8 @@ class TestConfiguration:
     def test_rule_registry_complete(self):
         assert all_rule_codes() == (
             "CFG001", "DET001", "DET002", "DET003", "EXC001", "FLT001",
-            "FPC001", "FPC002", "MUT001", "OBS001", "OBS002", "OBS003",
+            "FPC001", "FPC002", "LIF001", "LIF002", "LIF003", "LIF004",
+            "LIF005", "MUT001", "OBS001", "OBS002", "OBS003",
             "RNG001", "RNG002", "SM001", "SM002", "SM003", "SM004",
             "SM005", "SUP002", "UNI001", "UNI002", "UNI003", "UNI004")
         for rule in RULES.values():

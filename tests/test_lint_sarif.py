@@ -1,0 +1,199 @@
+"""Tests for the SARIF 2.1.0 exporter (``repro.lint.sarif``).
+
+``jsonschema`` is not available in this environment, so structural
+conformance is checked by a hand-rolled validator implementing the
+subset of the SARIF 2.1.0 schema the exporter emits: required
+top-level keys, run/tool/driver shape, rule descriptors, result
+anatomy (ruleId/ruleIndex agreement, physical locations with 1-based
+regions, legal levels) and suppression records.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.lint import LintConfig, lint_paths
+from repro.lint.cli import main as lint_main
+from repro.lint.sarif import (SARIF_SCHEMA, SARIF_VERSION,
+                              render_sarif, report_to_sarif)
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: One clean file, one file with a real finding (module-level RNG
+#: draw), and one with a *waived* finding — so the exported document
+#: exercises results, suppressions, and the empty case.
+DIRTY = "import random\nVALUE = random.random()\n"
+WAIVED = ("import random\n"
+          "VALUE = random.random()  # lint: allow(DET001): fixture\n")
+CLEAN = "X = 1\n"
+
+_LEVELS = {"none", "note", "warning", "error"}
+
+
+def _require(condition, message):
+    assert condition, f"SARIF conformance: {message}"
+
+
+def validate_sarif(doc):
+    """Structural SARIF 2.1.0 conformance for the emitted subset."""
+    _require(isinstance(doc, dict), "document must be an object")
+    _require(doc.get("version") == "2.1.0",
+             "version must be the literal '2.1.0'")
+    _require(doc.get("$schema", "").startswith("https://"),
+             "$schema must be an absolute URI")
+    runs = doc.get("runs")
+    _require(isinstance(runs, list) and runs,
+             "runs must be a non-empty array")
+    for run in runs:
+        driver = run.get("tool", {}).get("driver")
+        _require(isinstance(driver, dict),
+                 "every run needs tool.driver")
+        _require(isinstance(driver.get("name"), str)
+                 and driver["name"],
+                 "driver.name must be a non-empty string")
+        rules = driver.get("rules", [])
+        _require(isinstance(rules, list), "driver.rules must be array")
+        ids = []
+        for rule in rules:
+            _require(isinstance(rule.get("id"), str) and rule["id"],
+                     "rule.id must be a non-empty string")
+            _require(rule["id"] not in ids,
+                     f"duplicate rule id {rule['id']}")
+            ids.append(rule["id"])
+            short = rule.get("shortDescription", {})
+            _require(isinstance(short.get("text"), str),
+                     "shortDescription.text must be a string")
+            level = rule.get("defaultConfiguration", {}).get("level")
+            _require(level in _LEVELS,
+                     f"illegal defaultConfiguration.level {level!r}")
+        for result in run.get("results", []):
+            _validate_result(result, ids)
+    return True
+
+
+def _validate_result(result, rule_ids):
+    _require(isinstance(result.get("ruleId"), str),
+             "result.ruleId must be a string")
+    _require(result.get("level") in _LEVELS,
+             f"illegal result.level {result.get('level')!r}")
+    _require(isinstance(result.get("message", {}).get("text"), str),
+             "result.message.text must be a string")
+    index = result.get("ruleIndex")
+    if index is not None:
+        _require(isinstance(index, int) and 0 <= index < len(rule_ids),
+                 "ruleIndex out of range")
+        _require(rule_ids[index] == result["ruleId"],
+                 "ruleIndex must point at the ruleId's descriptor")
+    for location in result.get("locations", []):
+        physical = location.get("physicalLocation", {})
+        uri = physical.get("artifactLocation", {}).get("uri")
+        _require(isinstance(uri, str) and "\\" not in uri,
+                 "artifact uri must be /-separated")
+        region = physical.get("region", {})
+        _require(region.get("startLine", 1) >= 1,
+                 "startLine is 1-based")
+        _require(region.get("startColumn", 1) >= 1,
+                 "startColumn is 1-based")
+    for suppression in result.get("suppressions", []):
+        _require(suppression.get("kind") in ("inSource", "external"),
+                 f"illegal suppression.kind "
+                 f"{suppression.get('kind')!r}")
+
+
+@pytest.fixture()
+def tree(tmp_path):
+    (tmp_path / "dirty.py").write_text(DIRTY, encoding="utf-8")
+    (tmp_path / "waived.py").write_text(WAIVED, encoding="utf-8")
+    (tmp_path / "clean.py").write_text(CLEAN, encoding="utf-8")
+    return tmp_path
+
+
+class TestDocumentShape:
+    def test_validates_against_schema_subset(self, tree):
+        report = lint_paths([tree], LintConfig())
+        assert validate_sarif(report_to_sarif(report))
+
+    def test_src_report_validates_too(self):
+        report = lint_paths([ROOT / "src" / "repro" / "core"],
+                            LintConfig())
+        assert validate_sarif(report_to_sarif(report))
+
+    def test_version_and_schema_constants(self):
+        assert SARIF_VERSION == "2.1.0"
+        assert "sarif-schema-2.1.0.json" in SARIF_SCHEMA
+
+    def test_findings_become_results(self, tree):
+        report = lint_paths([tree], LintConfig())
+        doc = report_to_sarif(report)
+        results = doc["runs"][0]["results"]
+        assert len(results) == len(report.findings)
+        rule_ids = {r["ruleId"] for r in results}
+        assert "DET001" in rule_ids
+
+    def test_rule_catalog_covers_every_result(self, tree):
+        report = lint_paths([tree], LintConfig())
+        doc = report_to_sarif(report)
+        declared = {r["id"] for r in
+                    doc["runs"][0]["tool"]["driver"]["rules"]}
+        fired = {r["ruleId"] for r in doc["runs"][0]["results"]}
+        assert fired <= declared
+        assert {"LIF001", "LIF002", "LIF003", "LIF004",
+                "LIF005"} <= declared
+
+    def test_clean_report_has_empty_results(self, tmp_path):
+        (tmp_path / "clean.py").write_text(CLEAN, encoding="utf-8")
+        report = lint_paths([tmp_path], LintConfig())
+        doc = report_to_sarif(report)
+        assert doc["runs"][0]["results"] == []
+
+
+class TestSuppressions:
+    def test_waived_finding_exports_suppression(self, tree):
+        report = lint_paths([tree], LintConfig())
+        doc = report_to_sarif(report)
+        suppressed = [r for r in doc["runs"][0]["results"]
+                      if r.get("suppressions")]
+        assert len(suppressed) == 1
+        record = suppressed[0]["suppressions"][0]
+        assert record["kind"] == "inSource"
+        assert record["justification"] == "fixture"
+
+    def test_unsuppressed_findings_carry_no_suppressions(self, tree):
+        report = lint_paths([tree], LintConfig())
+        doc = report_to_sarif(report)
+        for result in doc["runs"][0]["results"]:
+            if not result.get("suppressions"):
+                assert "suppressions" not in result
+
+
+class TestSerialisation:
+    def test_render_is_deterministic(self, tree):
+        report = lint_paths([tree], LintConfig())
+        assert render_sarif(report) == render_sarif(report)
+        assert render_sarif(report).endswith("\n")
+
+    def test_render_round_trips(self, tree):
+        report = lint_paths([tree], LintConfig())
+        assert json.loads(render_sarif(report)) == \
+            report_to_sarif(report)
+
+
+class TestCli:
+    def test_sarif_flag_writes_validating_file(self, tree, tmp_path,
+                                               capsys):
+        out = tmp_path / "lint.sarif"
+        code = lint_main([str(tree), "--sarif", str(out)])
+        assert code == 1  # the dirty finding still gates
+        assert f"wrote {out}" in capsys.readouterr().out
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert validate_sarif(doc)
+
+    def test_sarif_flag_on_clean_tree(self, tmp_path, capsys):
+        (tmp_path / "clean.py").write_text(CLEAN, encoding="utf-8")
+        out = tmp_path / "lint.sarif"
+        code = lint_main([str(tmp_path), "--sarif", str(out)])
+        assert code == 0
+        capsys.readouterr()
+        assert validate_sarif(
+            json.loads(out.read_text(encoding="utf-8")))

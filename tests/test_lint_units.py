@@ -411,14 +411,14 @@ class TestTreeUnitsClean:
         assert rng_findings == []
 
 
-class TestJsonSchemaV3:
+class TestJsonSchemaV4:
     def test_round_trip(self, tmp_path):
         (tmp_path / "repro" / "hw").mkdir(parents=True)
         (tmp_path / "repro" / "hw" / "tables.py").write_text(
             "LIMIT = 3.3\n", encoding="utf-8")
         report = lint_paths([tmp_path], LintConfig())
         document = json.loads(json.dumps(report_to_dict(report)))
-        assert document["schema_version"] == 3
+        assert document["schema_version"] == 4
         assert "analyses" in document
         assert document["summary"]["stale_waivers"] == 0
         assert [f["rule"] for f in document["findings"]] == ["UNI004"]
